@@ -1,0 +1,136 @@
+package fpsa
+
+import (
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/experiments"
+)
+
+// One benchmark per paper artifact: running `go test -bench=.` regenerates
+// every table and figure of the evaluation. The rendered outputs come from
+// cmd/fpsa-bench; these measure the regeneration cost and pin the drivers
+// into the benchmark harness as the task requires.
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(device.Params45nm)
+		if len(rows) != 7 {
+			b.Fatal("table 1 rows")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2(device.Params45nm)
+		if r.DensityGain < 30 {
+			b.Fatal("density gain")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(64)
+		if err != nil || len(rows) != 7 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SpeedupAtMatchedArea < 100 {
+			b.Fatal("speedup collapsed")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure7()
+		if err != nil || len(rows) != 3 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(experiments.Figure9Options{Trials: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Supporting micro-benchmarks: the stack's heavy phases in isolation.
+
+func BenchmarkCompileVGG16(b *testing.B) {
+	m, err := LoadBenchmark("VGG16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(m, Config{Duplication: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceAndRouteLeNet(b *testing.B) {
+	m, err := LoadBenchmark("LeNet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := Compile(m, Config{Duplication: 4, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.PlaceAndRoute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpikingInference(b *testing.B) {
+	ds := SyntheticDataset(5, 300, 16, 4, 0.08)
+	train, _ := ds.Split(0.9)
+	net, err := TrainMLP(5, []int{16, 24, 4}, train, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sn, err := net.Deploy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sn.Classify(train.X[i%len(train.X)], ModeSpiking); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

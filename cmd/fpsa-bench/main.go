@@ -1,0 +1,34 @@
+// Command fpsa-bench regenerates the paper's evaluation artifacts: every
+// table and figure, rendered as text with paper-vs-measured annotations.
+//
+// Usage:
+//
+//	fpsa-bench                  # run everything
+//	fpsa-bench -exp figure8     # one artifact
+//	fpsa-bench -list            # show artifact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpsa"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(fpsa.ExperimentIDs(), "\n"))
+		return
+	}
+	out, err := fpsa.RunExperiment(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpsa-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

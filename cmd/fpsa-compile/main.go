@@ -1,0 +1,66 @@
+// Command fpsa-compile runs the software stack on one benchmark model:
+// neural synthesis, PE allocation, netlist generation, performance
+// modeling, and (optionally, for small deployments) real placement &
+// routing.
+//
+// Usage:
+//
+//	fpsa-compile -model LeNet -dup 4
+//	fpsa-compile -model MLP-500-100 -pnr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpsa"
+)
+
+func main() {
+	model := flag.String("model", "LeNet", "benchmark model name")
+	dup := flag.Int("dup", 1, "duplication degree")
+	pnr := flag.Bool("pnr", false, "run simulated-annealing placement and PathFinder routing")
+	seed := flag.Int64("seed", 1, "placement seed")
+	flag.Parse()
+
+	m, err := fpsa.LoadBenchmark(*model)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("model %s: %d weights, %d ops/sample, %d graph nodes\n",
+		m.Name(), m.Weights(), m.Ops(), m.Layers())
+
+	d, err := fpsa.Compile(m, fpsa.Config{Duplication: *dup, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	groups, coreOps := d.CoreOps()
+	pes, smbs, clbs := d.Blocks()
+	fmt.Printf("synthesized: %d weight groups, %d core-ops/sample\n", groups, coreOps)
+	fmt.Printf("netlist: %d PEs, %d SMBs, %d CLBs; chip area %.2f mm2\n", pes, smbs, clbs, d.AreaMM2())
+
+	p, err := d.Performance()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("modeled: %s\n", p)
+
+	if *pnr {
+		stats, err := d.PlaceAndRoute()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("place&route: %s\n", stats)
+		routed, err := d.PerformanceWithHops(int(stats.MeanHops + 0.5))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("with routed hops: %s\n", routed)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fpsa-compile:", err)
+	os.Exit(1)
+}

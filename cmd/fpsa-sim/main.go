@@ -1,0 +1,73 @@
+// Command fpsa-sim trains a small network, deploys it onto simulated FPSA
+// processing elements, and compares the float model against the three
+// hardware execution modes — integer reference, cycle-level spiking, and
+// spiking with ReRAM programming variation.
+//
+// Usage:
+//
+//	fpsa-sim -samples 40 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpsa"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "data/train/programming seed")
+	samples := flag.Int("samples", 40, "test samples to classify")
+	flag.Parse()
+
+	ds := fpsa.SyntheticDataset(*seed, 900, 16, 4, 0.08)
+	train, test := ds.Split(2.0 / 3)
+	net, err := fpsa.TrainMLP(*seed, []int{16, 24, 4}, train, 40)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("trained MLP 16-24-4: float accuracy %.3f\n", net.Accuracy(test))
+
+	sn, err := net.Deploy()
+	if err != nil {
+		fail(err)
+	}
+	sn.SetSeed(*seed)
+	fmt.Printf("deployed: %d core-op stages, sampling window %d\n", sn.Stages(), sn.Window())
+
+	modes := []struct {
+		name string
+		mode fpsa.ExecMode
+	}{
+		{"reference", fpsa.ModeReference},
+		{"spiking", fpsa.ModeSpiking},
+		{"spiking+variation", fpsa.ModeSpikingNoisy},
+	}
+	n := *samples
+	if n > len(test.X) {
+		n = len(test.X)
+	}
+	for _, m := range modes {
+		agree, correct := 0, 0
+		for i := 0; i < n; i++ {
+			label, err := sn.Classify(test.X[i], m.mode)
+			if err != nil {
+				fail(err)
+			}
+			if label == net.Predict(test.X[i]) {
+				agree++
+			}
+			if label == test.Y[i] {
+				correct++
+			}
+		}
+		fmt.Printf("%-18s accuracy %.3f, agreement with float model %.3f\n",
+			m.name, float64(correct)/float64(n), float64(agree)/float64(n))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fpsa-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,230 @@
+package fpsa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpsa/internal/bitstream"
+	"fpsa/internal/coreop"
+	"fpsa/internal/device"
+	"fpsa/internal/fabric"
+	"fpsa/internal/mapper"
+	"fpsa/internal/netlist"
+	"fpsa/internal/perf"
+	"fpsa/internal/place"
+	"fpsa/internal/route"
+	"fpsa/internal/synth"
+)
+
+// Config controls compilation.
+type Config struct {
+	// Duplication is the model duplication degree (§5.2 of the paper);
+	// 0 means 1×.
+	Duplication int
+	// Tracks overrides the routing channel width (0 = default 2048).
+	Tracks int
+	// Seed drives placement annealing.
+	Seed int64
+}
+
+// DefaultConfig returns a 1× deployment on the default fabric.
+func DefaultConfig() Config { return Config{Duplication: 1} }
+
+// Deployment is a model mapped onto the FPSA fabric.
+type Deployment struct {
+	model  Model
+	cfg    Config
+	coreop *coreop.Graph
+	alloc  mapper.Allocation
+	nl     *netlist.Netlist
+	params device.Params
+
+	// Last place & route artifacts (set by PlaceAndRoute), consumed by
+	// Bitstream.
+	lastChip      fabric.Chip
+	lastPlacement *place.Placement
+	lastRoute     *route.Result
+}
+
+// Compile synthesizes, allocates and maps a model.
+func Compile(m Model, cfg Config) (*Deployment, error) {
+	if err := m.valid(); err != nil {
+		return nil, err
+	}
+	if cfg.Duplication <= 0 {
+		cfg.Duplication = 1
+	}
+	params := device.Params45nm
+	co, err := synth.Synthesize(m.graph, synth.Options{Params: params})
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := mapper.Allocate(co, cfg.Duplication)
+	if err != nil {
+		return nil, err
+	}
+	nl, err := mapper.BuildNetlist(co, alloc, params, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{model: m, cfg: cfg, coreop: co, alloc: alloc, nl: nl, params: params}, nil
+}
+
+// Blocks returns the function-block inventory.
+func (d *Deployment) Blocks() (pes, smbs, clbs int) { return d.nl.Counts() }
+
+// AreaMM2 returns the chip area (blocks; the mrFPGA routing fabric stacks
+// above them).
+func (d *Deployment) AreaMM2() float64 { return d.nl.AreaUM2(d.params) * 1e-6 }
+
+// CoreOps returns the synthesized weight-group count and total core-op
+// executions per sample.
+func (d *Deployment) CoreOps() (groups int, opsPerSample int64) {
+	return len(d.coreop.Groups), d.coreop.TotalCoreOps()
+}
+
+// PerfSummary is a deployment's modeled performance.
+type PerfSummary struct {
+	ThroughputSPS    float64
+	LatencyUS        float64
+	PerfOPS          float64
+	DensityOPSmm2    float64
+	PeakOPS          float64
+	SpatialBoundOPS  float64
+	TemporalBoundOPS float64
+	CompNSPerVMM     float64
+	CommNSPerVMM     float64
+	// EnergyUJ is the per-sample energy (Table 1 per-block energies; PE
+	// + SMB + CLB, routing excluded); PowerMW multiplies by throughput.
+	EnergyUJ float64
+	PowerMW  float64
+}
+
+// String renders the summary.
+func (p PerfSummary) String() string {
+	return fmt.Sprintf("throughput %.4g samples/s, latency %.4g us, perf %.4g OPS (%.4g OPS/mm2), bounds peak %.3g / spatial %.3g / temporal %.3g",
+		p.ThroughputSPS, p.LatencyUS, p.PerfOPS, p.DensityOPSmm2,
+		p.PeakOPS, p.SpatialBoundOPS, p.TemporalBoundOPS)
+}
+
+// Performance evaluates the deployment with the calibrated mean routed hop
+// count; PerformanceWithHops substitutes a measured value (see
+// PlaceAndRoute).
+func (d *Deployment) Performance() (PerfSummary, error) { return d.PerformanceWithHops(0) }
+
+// PerformanceWithHops evaluates the deployment using the given mean routed
+// hop count (0 = the calibrated default).
+func (d *Deployment) PerformanceWithHops(hops int) (PerfSummary, error) {
+	r, err := perf.Evaluate(perf.Input{
+		Model:   d.model.graph,
+		CoreOps: d.coreop,
+		Params:  d.params,
+		Dup:     d.cfg.Duplication,
+		Hops:    hops,
+	}, perf.TargetFPSA)
+	if err != nil {
+		return PerfSummary{}, err
+	}
+	return PerfSummary{
+		ThroughputSPS:    r.ThroughputSPS,
+		LatencyUS:        r.LatencyUS,
+		PerfOPS:          r.PerfOPS,
+		DensityOPSmm2:    r.DensityOPSmm2,
+		PeakOPS:          r.PeakOPS,
+		SpatialBoundOPS:  r.SpatialBoundOPS,
+		TemporalBoundOPS: r.TemporalBoundOPS,
+		CompNSPerVMM:     r.CompNSPerVMM,
+		CommNSPerVMM:     r.CommNSPerVMM,
+		EnergyUJ:         r.Energy.TotalUJ(),
+		PowerMW:          r.PowerMW,
+	}, nil
+}
+
+// PRStats reports a placement & routing run.
+type PRStats struct {
+	ChipSide       int
+	Converged      bool
+	Iterations     int
+	MeanHops       float64
+	MaxHops        int
+	ChannelsNeeded int
+	PlacementMoves int
+	WirelengthCost float64
+}
+
+// String renders the stats.
+func (s PRStats) String() string {
+	return fmt.Sprintf("chip %dx%d, routed converged=%v in %d iters, hops mean %.1f max %d, channels needed %d",
+		s.ChipSide, s.ChipSide, s.Converged, s.Iterations, s.MeanHops, s.MaxHops, s.ChannelsNeeded)
+}
+
+// BitstreamInfo summarizes a generated, verified FPSA configuration.
+type BitstreamInfo struct {
+	// ProgrammedCells is the number of low-resistance mrFPGA ReRAM
+	// cells (switch-box plus connection-box).
+	ProgrammedCells int
+	SBCells         int
+	CBCells         int
+	// TrackOccupancy is the busiest channel's used tracks.
+	TrackOccupancy int
+}
+
+// String renders the info.
+func (b BitstreamInfo) String() string {
+	return fmt.Sprintf("configuration: %d programmed cells (%d SB + %d CB), busiest channel %d tracks",
+		b.ProgrammedCells, b.SBCells, b.CBCells, b.TrackOccupancy)
+}
+
+// Bitstream generates and verifies the FPSA configuration — the final
+// artifact of the stack (Figure 5) — for the last PlaceAndRoute run. The
+// verification interprets only the programmed ReRAM cells and proves every
+// net's source reaches every sink with no shorts.
+func (d *Deployment) Bitstream() (BitstreamInfo, error) {
+	if d.lastRoute == nil {
+		return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
+	}
+	cfg, err := bitstream.Generate(d.nl, d.lastPlacement, d.lastRoute, d.lastChip)
+	if err != nil {
+		return BitstreamInfo{}, err
+	}
+	if err := cfg.Verify(d.nl); err != nil {
+		return BitstreamInfo{}, fmt.Errorf("fpsa: generated configuration failed verification: %w", err)
+	}
+	return BitstreamInfo{
+		ProgrammedCells: cfg.CellCount(),
+		SBCells:         len(cfg.SBCells),
+		CBCells:         len(cfg.CBCells),
+		TrackOccupancy:  cfg.TrackOccupancy(),
+	}, nil
+}
+
+// PlaceAndRoute runs simulated-annealing placement and PathFinder routing
+// on the deployment's netlist and reports the measured communication
+// geometry. Intended for small and medium deployments (hundreds of
+// blocks); the large zoo models use the calibrated hop estimate instead.
+func (d *Deployment) PlaceAndRoute() (PRStats, error) {
+	chip, err := fabric.SizeFor(len(d.nl.Blocks), d.cfg.Tracks, d.params)
+	if err != nil {
+		return PRStats{}, err
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed + 1))
+	pl, stats, err := place.Anneal(d.nl, chip, rng, place.Options{})
+	if err != nil {
+		return PRStats{}, err
+	}
+	res, err := route.Route(d.nl, pl, chip, route.Options{})
+	if err != nil {
+		return PRStats{}, err
+	}
+	d.lastChip, d.lastPlacement, d.lastRoute = chip, pl, res
+	return PRStats{
+		ChipSide:       chip.W,
+		Converged:      res.Converged,
+		Iterations:     res.Iterations,
+		MeanHops:       res.MeanHops(),
+		MaxHops:        res.MaxHops(),
+		ChannelsNeeded: res.MaxOccupancy,
+		PlacementMoves: stats.Moves,
+		WirelengthCost: stats.FinalCost,
+	}, nil
+}

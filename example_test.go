@@ -1,0 +1,73 @@
+package fpsa_test
+
+import (
+	"fmt"
+
+	"fpsa"
+)
+
+// Compiling a benchmark model reports the function-block inventory the
+// mapper allocated for it.
+func ExampleCompile() {
+	m, err := fpsa.LoadBenchmark("MLP-500-100")
+	if err != nil {
+		panic(err)
+	}
+	d, err := fpsa.Compile(m, fpsa.Config{Duplication: 1})
+	if err != nil {
+		panic(err)
+	}
+	pes, smbs, clbs := d.Blocks()
+	fmt.Printf("%d PEs, %d SMBs, %d CLBs\n", pes, smbs, clbs)
+	// Output: 11 PEs, 0 SMBs, 2 CLBs
+}
+
+// Custom models are assembled with the chainable builder; weight and op
+// counts follow the paper's accounting.
+func ExampleNewModelBuilder() {
+	m, err := fpsa.NewModelBuilder("tiny", 1, 8, 8).
+		Conv2D(4, 3, 1, 1).ReLU().
+		GlobalAvgPool().
+		FC(2).ReLU().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weights=%d ops=%d layers=%v\n", m.Weights(), m.Ops(), m.WeightLayers())
+	// Output: weights=44 ops=4624 layers=[conv2d1 fc4]
+}
+
+// A deployed network classifies feature vectors by running actual spiking
+// core-ops.
+func ExampleDeployModel() {
+	m, err := fpsa.NewModelBuilder("gate", 1, 1, 1).
+		FC(2).ReLU().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	// One input feature drives two outputs with opposite weights: class
+	// 0 fires on bright inputs, class 1 stays silent (ReLU clips it).
+	sn, err := fpsa.DeployModel(m, map[string][][]float64{
+		m.WeightLayers()[0]: {{1.0, -1.0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	label, err := sn.Classify([]float64{0.9}, fpsa.ModeReference)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("class", label)
+	// Output: class 0
+}
+
+// Experiment drivers regenerate the paper's artifacts as text.
+func ExampleRunExperiment() {
+	out, err := fpsa.RunExperiment("table2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[:38])
+	// Output: Table 2: PE comparison (256x256 VMM, 8
+}

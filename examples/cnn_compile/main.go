@@ -1,0 +1,39 @@
+// cnn_compile: push LeNet through the full back end — synthesis,
+// allocation at several duplication degrees, netlist generation, real
+// simulated-annealing placement and PathFinder routing — and show how the
+// measured routing geometry feeds the performance model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpsa"
+)
+
+func main() {
+	m, err := fpsa.LoadBenchmark("LeNet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d weights, %d ops/sample\n", m.Name(), m.Weights(), m.Ops())
+
+	for _, dup := range []int{1, 4, 16} {
+		d, err := fpsa.Compile(m, fpsa.Config{Duplication: dup, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pes, smbs, clbs := d.Blocks()
+		stats, err := d.PlaceAndRoute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := d.PerformanceWithHops(int(stats.MeanHops + 0.5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dup %2dx: %3d PE %2d SMB %2d CLB | %s\n", dup, pes, smbs, clbs, stats)
+		fmt.Printf("         %.4g samples/s at %.2f mm2 (routed-hops comm %.0f ns/VMM)\n",
+			p.ThroughputSPS, d.AreaMM2(), p.CommNSPerVMM)
+	}
+}

@@ -1,0 +1,35 @@
+// Quickstart: compile VGG16 onto FPSA at the paper's 64× duplication and
+// print the Table 3 numbers next to the published ones.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpsa"
+)
+
+func main() {
+	m, err := fpsa.LoadBenchmark("VGG16")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.1fM weights, %.1fG ops/sample\n",
+		m.Name(), float64(m.Weights())/1e6, float64(m.Ops())/1e9)
+
+	d, err := fpsa.Compile(m, fpsa.Config{Duplication: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pes, smbs, clbs := d.Blocks()
+	fmt.Printf("deployment: %d PEs, %d SMBs, %d CLBs on %.2f mm2\n",
+		pes, smbs, clbs, d.AreaMM2())
+
+	p, err := d.Performance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modeled:  %.4g samples/s, %.4g us latency, %.2f mm2\n",
+		p.ThroughputSPS, p.LatencyUS, d.AreaMM2())
+	fmt.Println("paper:    2.4e+03 samples/s, 671.8 us latency, 68.09 mm2 (Table 3)")
+}

@@ -1,0 +1,167 @@
+package fpsa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpsa/internal/device"
+	"fpsa/internal/synth"
+	"fpsa/internal/trainer"
+)
+
+// Dataset is a labeled feature set with features in [0, 1].
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	Classes int
+}
+
+// SyntheticDataset generates the clustered classification data the
+// functional examples and the variation study train on.
+func SyntheticDataset(seed int64, n, dim, classes int, noise float64) Dataset {
+	ds := trainer.SyntheticClusters(rand.New(rand.NewSource(seed)), n, dim, classes, noise)
+	return Dataset{X: ds.X, Y: ds.Y, Classes: ds.Classes}
+}
+
+// Split partitions a dataset front/back.
+func (d Dataset) Split(frac float64) (train, test Dataset) {
+	t1, t2 := d.internal().Split(frac)
+	return Dataset{X: t1.X, Y: t1.Y, Classes: t1.Classes}, Dataset{X: t2.X, Y: t2.Y, Classes: t2.Classes}
+}
+
+func (d Dataset) internal() trainer.Dataset {
+	return trainer.Dataset{X: d.X, Y: d.Y, Classes: d.Classes}
+}
+
+// DeployModel synthesizes a custom model functionally and returns a
+// runnable spiking network. Weights are supplied per MAC layer (see
+// Model.WeightLayers for the names): FC layers take [in][out] matrices;
+// ungrouped convolutions take [K²·Cin][OutC] matrices with rows ordered
+// (channel, ky, kx). Pooling, residual adds, flatten and ReLU need no
+// weights; grouped convolutions and LRN are not supported functionally.
+// Tensors flatten CHW: signal (c, y, x) is input index (c·H + y)·W + x.
+func DeployModel(m Model, weights map[string][][]float64) (*SpikingNet, error) {
+	if err := m.valid(); err != nil {
+		return nil, err
+	}
+	opts := synth.DefaultOptions()
+	opts.Weights = func(layer string) [][]float64 { return weights[layer] }
+	_, prog, err := synth.Compile(m.graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SpikingNet{prog: prog}, nil
+}
+
+// TrainedMLP is a trained bias-free ReLU network, deployable onto FPSA.
+type TrainedMLP struct {
+	net *trainer.MLP
+}
+
+// TrainMLP trains an MLP with the given layer dims ([input, hidden...,
+// classes]) for the given epochs.
+func TrainMLP(seed int64, dims []int, train Dataset, epochs int) (*TrainedMLP, error) {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := trainer.NewMLP(rng, dims)
+	if err != nil {
+		return nil, err
+	}
+	net.Train(rng, train.internal(), trainer.TrainOptions{Epochs: epochs})
+	return &TrainedMLP{net: net}, nil
+}
+
+// Accuracy evaluates float-model classification accuracy.
+func (t *TrainedMLP) Accuracy(ds Dataset) float64 { return t.net.Accuracy(ds.internal()) }
+
+// Predict returns the float model's class for one sample.
+func (t *TrainedMLP) Predict(x []float64) int { return t.net.Predict(x) }
+
+// Deploy synthesizes the trained network onto FPSA PEs and returns a
+// runnable spiking network.
+func (t *TrainedMLP) Deploy() (*SpikingNet, error) {
+	opts := synth.DefaultOptions()
+	opts.Weights = t.net.WeightSource()
+	_, prog, err := synth.Compile(t.net.Graph("deployed-mlp"), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &SpikingNet{prog: prog}, nil
+}
+
+// ExecMode selects how a SpikingNet evaluates.
+type ExecMode int
+
+// Execution modes.
+const (
+	// ModeReference uses the integer reference semantics of the PE.
+	ModeReference ExecMode = iota
+	// ModeSpiking runs the full cycle-level spiking simulation.
+	ModeSpiking
+	// ModeSpikingNoisy additionally programs the ReRAM cells with
+	// device variation (deterministic per SpikingNet seed).
+	ModeSpikingNoisy
+)
+
+// SpikingNet is a network deployed onto simulated FPSA processing
+// elements.
+type SpikingNet struct {
+	prog *synth.Program
+	seed int64
+}
+
+// SetSeed fixes the programming-variation RNG for ModeSpikingNoisy.
+func (s *SpikingNet) SetSeed(seed int64) { s.seed = seed }
+
+// Classify quantizes features in [0,1] into the sampling window and runs
+// the deployed network, returning the argmax class.
+func (s *SpikingNet) Classify(features []float64, mode ExecMode) (int, error) {
+	out, err := s.Outputs(features, mode)
+	if err != nil {
+		return 0, err
+	}
+	return synth.Argmax(out), nil
+}
+
+// Outputs returns the raw output spike counts.
+func (s *SpikingNet) Outputs(features []float64, mode ExecMode) ([]int, error) {
+	window := s.prog.Params.SamplingWindow()
+	in := synth.QuantizeInput(features, window)
+	opts := synth.RunOptions{}
+	switch mode {
+	case ModeReference:
+		opts.Mode = synth.ModeReference
+	case ModeSpiking:
+		opts.Mode = synth.ModeSpiking
+	case ModeSpikingNoisy:
+		opts.Mode = synth.ModeSpikingNoisy
+		opts.Rng = rand.New(rand.NewSource(s.seed + 7))
+	default:
+		return nil, fmt.Errorf("fpsa: unknown exec mode %d", mode)
+	}
+	return s.prog.Run(in, opts)
+}
+
+// Window returns the deployment's sampling window Γ.
+func (s *SpikingNet) Window() int { return s.prog.Params.SamplingWindow() }
+
+// Stages returns the number of core-op stages the network executes.
+func (s *SpikingNet) Stages() int { return len(s.prog.Stages) }
+
+// VariationAccuracy runs the Figure 9 Monte-Carlo study on this trained
+// network: normalized accuracy of a weight representation under
+// programming variation. Method is "splice" or "add".
+func (t *TrainedMLP) VariationAccuracy(ds Dataset, method string, cells, trials int, seed int64) (float64, error) {
+	spec := device.Cell4BitMeasured
+	var rep device.Representation
+	switch method {
+	case "splice":
+		rep = device.NewSplice(spec, cells)
+	case "add":
+		rep = device.NewAdd(spec, cells)
+	default:
+		return 0, fmt.Errorf("fpsa: unknown representation %q (want splice or add)", method)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := trainer.VariationStudy(t.net, ds.internal(), rep, spec, rng, trials)
+	return res.NormalizedAccuracy, nil
+}

@@ -1,0 +1,248 @@
+// Package bitstream generates the FPSA Configuration — the final artifact
+// of the paper's system stack (Figure 5: Placement & Routing → FPSA
+// Configuration). The configuration is the set of programmed ReRAM cells
+// in the mrFPGA routing layer: switch-box cells joining channel tracks of
+// adjacent segments, and connection-box cells attaching block pins to
+// channel tracks (paper §4.1: "the connections in SBs and CBs are decided
+// by the resistance of the ReRAM cells ... low resistance is a pass").
+//
+// Because mrFPGA switch boxes are themselves ReRAM crossbars, any track
+// can connect to any track, so track assignment is per-channel first-fit.
+// The package also provides an independent Verify that interprets only
+// the programmed cells — reconstructing per-signal electrical paths — to
+// prove each net's source reaches every sink with no shorts between nets.
+package bitstream
+
+import (
+	"fmt"
+
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+	"fpsa/internal/place"
+	"fpsa/internal/route"
+)
+
+// SBCell is one programmed switch-box ReRAM cell: it joins track ta of
+// channel node a with track tb of channel node b for one signal.
+type SBCell struct {
+	NodeA, TrackA int
+	NodeB, TrackB int
+	Net, Signal   int
+}
+
+// CBCell is one programmed connection-box ReRAM cell: it attaches a block
+// pin (net signal) to a channel-node track at the block's site.
+type CBCell struct {
+	Block       int
+	Node, Track int
+	Net, Signal int
+	Source      bool // true: block drives the track; false: block listens
+}
+
+// Config is the complete chip configuration for one routed netlist.
+type Config struct {
+	Chip    fabric.Chip
+	Nets    int
+	SBCells []SBCell
+	CBCells []CBCell
+	// tracks[node][track] = net index + 1 (0 = free); retained for
+	// verification and occupancy stats.
+	tracks [][]int32
+}
+
+// Generate programs the fabric for a converged routing result.
+func Generate(nl *netlist.Netlist, pl *place.Placement, res *route.Result, chip fabric.Chip) (*Config, error) {
+	if !res.Converged {
+		return nil, fmt.Errorf("bitstream: routing did not converge; no legal configuration exists at %d tracks", chip.Tracks)
+	}
+	nodes := 2 * chip.W * chip.H
+	cfg := &Config{Chip: chip, Nets: len(nl.Nets), tracks: make([][]int32, nodes)}
+	for i := range cfg.tracks {
+		cfg.tracks[i] = make([]int32, chip.Tracks)
+	}
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		// Assign `signals` tracks on every tree node, first-fit.
+		assigned := make(map[int][]int, len(res.NetRoutes[ni]))
+		for _, node := range res.NetRoutes[ni] {
+			picks := make([]int, 0, net.Signals)
+			for t := 0; t < chip.Tracks && len(picks) < net.Signals; t++ {
+				if cfg.tracks[node][t] == 0 {
+					cfg.tracks[node][t] = int32(ni + 1)
+					picks = append(picks, t)
+				}
+			}
+			if len(picks) < net.Signals {
+				return nil, fmt.Errorf("bitstream: net %d needs %d tracks on node %d, found %d free",
+					ni, net.Signals, node, len(picks))
+			}
+			assigned[node] = picks
+		}
+		// Switch-box cells along every tree hop, one per signal.
+		for _, e := range res.NetEdges[ni] {
+			ta, tb := assigned[e.A], assigned[e.B]
+			for s := 0; s < net.Signals; s++ {
+				cfg.SBCells = append(cfg.SBCells, SBCell{
+					NodeA: e.A, TrackA: ta[s],
+					NodeB: e.B, TrackB: tb[s],
+					Net: ni, Signal: s,
+				})
+			}
+		}
+		// Connection-box cells: the source block drives the tree nodes
+		// at its own site; each sink block listens on one tree node at
+		// its site.
+		srcSite := pl.Pos[net.Src]
+		srcDone := false
+		for _, node := range res.NetRoutes[ni] {
+			if _, s := route.NodeSite(chip, node); s == srcSite {
+				for k, t := range assigned[node] {
+					cfg.CBCells = append(cfg.CBCells, CBCell{
+						Block: net.Src, Node: node, Track: t, Net: ni, Signal: k, Source: true,
+					})
+				}
+				srcDone = true
+			}
+		}
+		if !srcDone {
+			return nil, fmt.Errorf("bitstream: net %d has no tree node at its source site", ni)
+		}
+		for _, sink := range net.Sinks {
+			site := pl.Pos[sink]
+			attached := false
+			for _, node := range res.NetRoutes[ni] {
+				if _, s := route.NodeSite(chip, node); s == site {
+					for k, t := range assigned[node] {
+						cfg.CBCells = append(cfg.CBCells, CBCell{
+							Block: sink, Node: node, Track: t, Net: ni, Signal: k, Source: false,
+						})
+					}
+					attached = true
+					break
+				}
+			}
+			if !attached {
+				return nil, fmt.Errorf("bitstream: net %d has no tree node at sink block %d's site", ni, sink)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// CellCount returns the number of programmed (low-resistance) ReRAM cells
+// — the configuration's size.
+func (c *Config) CellCount() int { return len(c.SBCells) + len(c.CBCells) }
+
+// TrackOccupancy returns the busiest channel's used-track count.
+func (c *Config) TrackOccupancy() int {
+	max := 0
+	for _, node := range c.tracks {
+		used := 0
+		for _, t := range node {
+			if t != 0 {
+				used++
+			}
+		}
+		if used > max {
+			max = used
+		}
+	}
+	return max
+}
+
+// Verify interprets the programmed cells only — no routing data — and
+// checks electrical correctness:
+//
+//  1. no two nets share a (channel node, track) — no shorts;
+//  2. for every net, every listening CB cell is reachable from a driving
+//     CB cell through programmed SB cells (per-net connectivity);
+//  3. every net has at least one driver and the expected listener count.
+func (c *Config) Verify(nl *netlist.Netlist) error {
+	type slot struct{ node, track int }
+	owner := make(map[slot]int)
+	for node, tracks := range c.tracks {
+		for t, netPlus := range tracks {
+			if netPlus == 0 {
+				continue
+			}
+			s := slot{node, t}
+			if prev, ok := owner[s]; ok && prev != int(netPlus-1) {
+				return fmt.Errorf("bitstream: short at node %d track %d", node, t)
+			}
+			owner[s] = int(netPlus - 1)
+		}
+	}
+	// own reports a slot's net, or −1 when the slot is unprogrammed.
+	own := func(s slot) int {
+		if o, ok := owner[s]; ok {
+			return o
+		}
+		return -1
+	}
+	// Per-net union-find over slots, seeded by SB cells; all driver
+	// slots of a net are additionally merged (they share the source
+	// block's output pin through its CB).
+	parent := make(map[slot]slot)
+	var find func(s slot) slot
+	find = func(s slot) slot {
+		p, ok := parent[s]
+		if !ok || p == s {
+			parent[s] = s
+			return s
+		}
+		r := find(p)
+		parent[s] = r
+		return r
+	}
+	union := func(a, b slot) { parent[find(a)] = find(b) }
+	for _, cell := range c.SBCells {
+		if got := own(slot{cell.NodeA, cell.TrackA}); got != cell.Net {
+			return fmt.Errorf("bitstream: SB cell of net %d drives foreign track (owner %d)", cell.Net, got)
+		}
+		if got := own(slot{cell.NodeB, cell.TrackB}); got != cell.Net {
+			return fmt.Errorf("bitstream: SB cell of net %d reaches foreign track (owner %d)", cell.Net, got)
+		}
+		union(slot{cell.NodeA, cell.TrackA}, slot{cell.NodeB, cell.TrackB})
+	}
+	drivers := make(map[int][]slot)
+	listeners := make(map[int][]slot)
+	for _, cell := range c.CBCells {
+		s := slot{cell.Node, cell.Track}
+		if got := own(s); got != cell.Net {
+			return fmt.Errorf("bitstream: CB cell of net %d attached to foreign track (owner %d)", cell.Net, got)
+		}
+		if cell.Source {
+			drivers[cell.Net] = append(drivers[cell.Net], s)
+		} else {
+			listeners[cell.Net] = append(listeners[cell.Net], s)
+		}
+	}
+	for ni := range nl.Nets {
+		ds := drivers[ni]
+		if len(ds) == 0 {
+			return fmt.Errorf("bitstream: net %d has no driver", ni)
+		}
+		for _, d := range ds[1:] {
+			union(ds[0], d) // joined at the source block's pins
+		}
+		want := len(nl.Nets[ni].Sinks) * nl.Nets[ni].Signals
+		if got := len(listeners[ni]); got != want {
+			return fmt.Errorf("bitstream: net %d has %d listener cells, want %d", ni, got, want)
+		}
+		root := find(ds[0])
+		for _, l := range listeners[ni] {
+			if find(l) != root {
+				return fmt.Errorf("bitstream: net %d listener at node %d track %d unreachable from source",
+					ni, l.node, l.track)
+			}
+		}
+	}
+	return nil
+}
+
+// CorruptSBCell clears one programmed switch cell (fault-injection tests).
+func (c *Config) CorruptSBCell(i int) {
+	if i >= 0 && i < len(c.SBCells) {
+		c.SBCells = append(c.SBCells[:i], c.SBCells[i+1:]...)
+	}
+}

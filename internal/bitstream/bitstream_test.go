@@ -1,0 +1,134 @@
+package bitstream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+	"fpsa/internal/place"
+	"fpsa/internal/route"
+)
+
+// routedFixture builds, places and routes a small random netlist.
+func routedFixture(t *testing.T, seed int64, blocks, nets, maxSignals int) (*netlist.Netlist, *place.Placement, *route.Result, fabric.Chip) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nl := &netlist.Netlist{Name: "fixture"}
+	for i := 0; i < blocks; i++ {
+		nl.AddBlock(netlist.BlockPE, "b", i, 0)
+	}
+	for i := 0; i < nets; i++ {
+		src := rng.Intn(blocks)
+		sink := rng.Intn(blocks)
+		for sink == src {
+			sink = rng.Intn(blocks)
+		}
+		sinks := []int{sink}
+		if rng.Intn(3) == 0 {
+			extra := rng.Intn(blocks)
+			if extra != src && extra != sink {
+				sinks = append(sinks, extra)
+			}
+		}
+		nl.AddNet(src, sinks, 1+rng.Intn(maxSignals))
+	}
+	chip, err := fabric.SizeFor(blocks, 256, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _, err := place.Anneal(nl, chip, rng, place.Options{MovesPerTemp: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := route.Route(nl, pl, chip, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("fixture routing did not converge")
+	}
+	return nl, pl, res, chip
+}
+
+func TestGenerateAndVerify(t *testing.T) {
+	nl, pl, res, chip := routedFixture(t, 21, 24, 30, 16)
+	cfg, err := Generate(nl, pl, res, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CellCount() == 0 {
+		t.Fatal("empty configuration")
+	}
+	if err := cfg.Verify(nl); err != nil {
+		t.Fatalf("verification failed: %v", err)
+	}
+	if occ := cfg.TrackOccupancy(); occ > chip.Tracks {
+		t.Errorf("occupancy %d exceeds %d tracks", occ, chip.Tracks)
+	}
+}
+
+func TestGenerateRejectsUnconverged(t *testing.T) {
+	nl, pl, res, chip := routedFixture(t, 22, 8, 6, 4)
+	res.Converged = false
+	if _, err := Generate(nl, pl, res, chip); err == nil {
+		t.Error("unconverged routing accepted")
+	}
+}
+
+func TestVerifyDetectsCorruptedSwitch(t *testing.T) {
+	nl, pl, res, chip := routedFixture(t, 23, 24, 30, 8)
+	cfg, err := Generate(nl, pl, res, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.SBCells) == 0 {
+		t.Skip("no SB hops in this fixture")
+	}
+	// Clearing any switch cell must break a signal path (fault
+	// injection: a stuck-high-resistance ReRAM switch).
+	cfg.CorruptSBCell(len(cfg.SBCells) / 2)
+	err = cfg.Verify(nl)
+	if err == nil {
+		t.Fatal("corrupted configuration verified clean")
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Logf("corruption surfaced as: %v", err)
+	}
+}
+
+func TestVerifyDetectsForeignTrackSwitch(t *testing.T) {
+	// A misprogrammed SB cell reaching into an unowned (or foreign)
+	// track must fail verification — the electrical-shorts class of
+	// configuration bugs.
+	nl, pl, res, chip := routedFixture(t, 24, 16, 16, 4)
+	cfg, err := Generate(nl, pl, res, chip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.SBCells) == 0 {
+		t.Skip("no SB cells in fixture")
+	}
+	cfg.SBCells[0].TrackA = cfg.Chip.Tracks - 1 // last track: free in this small fixture
+	if err := cfg.Verify(nl); err == nil {
+		t.Error("foreign-track SB cell verified clean")
+	}
+}
+
+func TestCellCountScalesWithSignals(t *testing.T) {
+	nlA, plA, resA, chipA := routedFixture(t, 25, 12, 10, 2)
+	cfgA, err := Generate(nlA, plA, resA, chipA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlB, plB, resB, chipB := routedFixture(t, 25, 12, 10, 32)
+	cfgB, err := Generate(nlB, plB, resB, chipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgB.CellCount() <= cfgA.CellCount() {
+		t.Errorf("wider buses did not grow the configuration: %d vs %d", cfgA.CellCount(), cfgB.CellCount())
+	}
+}

@@ -1,0 +1,336 @@
+package cgraph
+
+import "fmt"
+
+// Op is one tensor operation. Implementations infer output shapes and
+// report the statistics the rest of the stack consumes.
+type Op interface {
+	// Kind returns the operation's type name.
+	Kind() string
+	// InferShape validates input shapes and returns the output shape.
+	InferShape(in []Shape) (Shape, error)
+	// Weights returns the multiply-matrix parameter count (0 for
+	// weight-free operations).
+	Weights(in []Shape) int64
+	// MACs returns the multiply-accumulate count per sample.
+	MACs(in []Shape, out Shape) int64
+}
+
+// Input is a graph source.
+type Input struct{ Shape Shape }
+
+// Kind implements Op.
+func (Input) Kind() string { return "input" }
+
+// InferShape implements Op.
+func (op Input) InferShape(in []Shape) (Shape, error) {
+	if len(in) != 0 {
+		return Shape{}, fmt.Errorf("cgraph: input takes no operands")
+	}
+	if !op.Shape.Valid() {
+		return Shape{}, fmt.Errorf("cgraph: invalid input shape %v", op.Shape)
+	}
+	return op.Shape, nil
+}
+
+// Weights implements Op.
+func (Input) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Input) MACs([]Shape, Shape) int64 { return 0 }
+
+// Conv2D is a 2-D convolution (optionally grouped, as in AlexNet).
+type Conv2D struct {
+	OutC   int
+	Kernel int
+	Stride int
+	Pad    int
+	Groups int // 0 or 1 means ungrouped
+}
+
+func (op Conv2D) groups() int {
+	if op.Groups <= 1 {
+		return 1
+	}
+	return op.Groups
+}
+
+// Kind implements Op.
+func (Conv2D) Kind() string { return "conv2d" }
+
+// InferShape implements Op.
+func (op Conv2D) InferShape(in []Shape) (Shape, error) {
+	if len(in) != 1 {
+		return Shape{}, fmt.Errorf("cgraph: conv2d takes one operand")
+	}
+	s := in[0]
+	g := op.groups()
+	if op.OutC <= 0 || op.OutC%g != 0 || s.C%g != 0 {
+		return Shape{}, fmt.Errorf("cgraph: conv2d channels %d→%d not divisible by groups %d", s.C, op.OutC, g)
+	}
+	h, err := convOut(s.H, op.Kernel, op.Stride, op.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	w, err := convOut(s.W, op.Kernel, op.Stride, op.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{C: op.OutC, H: h, W: w}, nil
+}
+
+// Weights implements Op: K²·Cin/G·Cout.
+func (op Conv2D) Weights(in []Shape) int64 {
+	return int64(op.Kernel) * int64(op.Kernel) * int64(in[0].C/op.groups()) * int64(op.OutC)
+}
+
+// MACs implements Op: weights × output positions.
+func (op Conv2D) MACs(in []Shape, out Shape) int64 {
+	return op.Weights(in) * int64(out.H) * int64(out.W)
+}
+
+// FC is a fully connected layer over a flat feature vector.
+type FC struct{ Out int }
+
+// Kind implements Op.
+func (FC) Kind() string { return "fc" }
+
+// InferShape implements Op.
+func (op FC) InferShape(in []Shape) (Shape, error) {
+	if len(in) != 1 {
+		return Shape{}, fmt.Errorf("cgraph: fc takes one operand")
+	}
+	if !in[0].IsVec() {
+		return Shape{}, fmt.Errorf("cgraph: fc input %v is not flat (insert Flatten)", in[0])
+	}
+	if op.Out <= 0 {
+		return Shape{}, fmt.Errorf("cgraph: fc output size %d", op.Out)
+	}
+	return Vec(op.Out), nil
+}
+
+// Weights implements Op.
+func (op FC) Weights(in []Shape) int64 { return int64(in[0].Elems()) * int64(op.Out) }
+
+// MACs implements Op.
+func (op FC) MACs(in []Shape, out Shape) int64 { return op.Weights(in) }
+
+// Pool kinds.
+const (
+	MaxPoolKind = "maxpool"
+	AvgPoolKind = "avgpool"
+)
+
+// Pool is a max or average pooling window.
+type Pool struct {
+	PoolKind string // MaxPoolKind or AvgPoolKind
+	Kernel   int
+	Stride   int
+	Pad      int
+}
+
+// Kind implements Op.
+func (op Pool) Kind() string { return op.PoolKind }
+
+// InferShape implements Op.
+func (op Pool) InferShape(in []Shape) (Shape, error) {
+	if len(in) != 1 {
+		return Shape{}, fmt.Errorf("cgraph: pool takes one operand")
+	}
+	if op.PoolKind != MaxPoolKind && op.PoolKind != AvgPoolKind {
+		return Shape{}, fmt.Errorf("cgraph: unknown pool kind %q", op.PoolKind)
+	}
+	s := in[0]
+	h, err := convOut(s.H, op.Kernel, op.Stride, op.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	w, err := convOut(s.W, op.Kernel, op.Stride, op.Pad)
+	if err != nil {
+		return Shape{}, err
+	}
+	return Shape{C: s.C, H: h, W: w}, nil
+}
+
+// Weights implements Op.
+func (Pool) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Pool) MACs([]Shape, Shape) int64 { return 0 }
+
+// GlobalAvgPool averages each channel plane to a single value.
+type GlobalAvgPool struct{}
+
+// Kind implements Op.
+func (GlobalAvgPool) Kind() string { return "globalavgpool" }
+
+// InferShape implements Op.
+func (GlobalAvgPool) InferShape(in []Shape) (Shape, error) {
+	if len(in) != 1 {
+		return Shape{}, fmt.Errorf("cgraph: globalavgpool takes one operand")
+	}
+	return Vec(in[0].C), nil
+}
+
+// Weights implements Op.
+func (GlobalAvgPool) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (GlobalAvgPool) MACs([]Shape, Shape) int64 { return 0 }
+
+// ReLU is the rectifier; the PE provides it for free after every VMM.
+type ReLU struct{}
+
+// Kind implements Op.
+func (ReLU) Kind() string { return "relu" }
+
+// InferShape implements Op.
+func (ReLU) InferShape(in []Shape) (Shape, error) { return passthrough("relu", in) }
+
+// Weights implements Op.
+func (ReLU) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (ReLU) MACs([]Shape, Shape) int64 { return 0 }
+
+// LRN is local response normalization (AlexNet, GoogLeNet); approximated by
+// the synthesizer with MLPs per [19, 20], weight-free at the CG level.
+type LRN struct{}
+
+// Kind implements Op.
+func (LRN) Kind() string { return "lrn" }
+
+// InferShape implements Op.
+func (LRN) InferShape(in []Shape) (Shape, error) { return passthrough("lrn", in) }
+
+// Weights implements Op.
+func (LRN) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (LRN) MACs([]Shape, Shape) int64 { return 0 }
+
+// BatchNorm is inference-mode batch normalization; its scale/shift fold
+// into the preceding convolution's weights at synthesis time.
+type BatchNorm struct{}
+
+// Kind implements Op.
+func (BatchNorm) Kind() string { return "batchnorm" }
+
+// InferShape implements Op.
+func (BatchNorm) InferShape(in []Shape) (Shape, error) { return passthrough("batchnorm", in) }
+
+// Weights implements Op.
+func (BatchNorm) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (BatchNorm) MACs([]Shape, Shape) int64 { return 0 }
+
+// Add is elementwise addition (ResNet shortcuts).
+type Add struct{}
+
+// Kind implements Op.
+func (Add) Kind() string { return "add" }
+
+// InferShape implements Op.
+func (Add) InferShape(in []Shape) (Shape, error) {
+	if len(in) < 2 {
+		return Shape{}, fmt.Errorf("cgraph: add takes ≥2 operands")
+	}
+	for _, s := range in[1:] {
+		if s != in[0] {
+			return Shape{}, fmt.Errorf("cgraph: add shape mismatch %v vs %v", in[0], s)
+		}
+	}
+	return in[0], nil
+}
+
+// Weights implements Op.
+func (Add) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Add) MACs([]Shape, Shape) int64 { return 0 }
+
+// Concat concatenates along channels (GoogLeNet inception outputs).
+type Concat struct{}
+
+// Kind implements Op.
+func (Concat) Kind() string { return "concat" }
+
+// InferShape implements Op.
+func (Concat) InferShape(in []Shape) (Shape, error) {
+	if len(in) < 2 {
+		return Shape{}, fmt.Errorf("cgraph: concat takes ≥2 operands")
+	}
+	out := in[0]
+	for _, s := range in[1:] {
+		if s.H != out.H || s.W != out.W {
+			return Shape{}, fmt.Errorf("cgraph: concat spatial mismatch %v vs %v", in[0], s)
+		}
+		out.C += s.C
+	}
+	return out, nil
+}
+
+// Weights implements Op.
+func (Concat) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Concat) MACs([]Shape, Shape) int64 { return 0 }
+
+// Flatten reshapes a CHW tensor to a flat vector.
+type Flatten struct{}
+
+// Kind implements Op.
+func (Flatten) Kind() string { return "flatten" }
+
+// InferShape implements Op.
+func (Flatten) InferShape(in []Shape) (Shape, error) {
+	if len(in) != 1 {
+		return Shape{}, fmt.Errorf("cgraph: flatten takes one operand")
+	}
+	return Vec(in[0].Elems()), nil
+}
+
+// Weights implements Op.
+func (Flatten) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Flatten) MACs([]Shape, Shape) int64 { return 0 }
+
+// Softmax is the output normalization; executed off-fabric (host) in the
+// paper's deployment, weight-free here.
+type Softmax struct{}
+
+// Kind implements Op.
+func (Softmax) Kind() string { return "softmax" }
+
+// InferShape implements Op.
+func (Softmax) InferShape(in []Shape) (Shape, error) { return passthrough("softmax", in) }
+
+// Weights implements Op.
+func (Softmax) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Softmax) MACs([]Shape, Shape) int64 { return 0 }
+
+// Dropout is a training-time regularizer; an inference no-op.
+type Dropout struct{}
+
+// Kind implements Op.
+func (Dropout) Kind() string { return "dropout" }
+
+// InferShape implements Op.
+func (Dropout) InferShape(in []Shape) (Shape, error) { return passthrough("dropout", in) }
+
+// Weights implements Op.
+func (Dropout) Weights([]Shape) int64 { return 0 }
+
+// MACs implements Op.
+func (Dropout) MACs([]Shape, Shape) int64 { return 0 }
+
+func passthrough(kind string, in []Shape) (Shape, error) {
+	if len(in) != 1 {
+		return Shape{}, fmt.Errorf("cgraph: %s takes one operand", kind)
+	}
+	return in[0], nil
+}

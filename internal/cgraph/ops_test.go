@@ -1,0 +1,215 @@
+package cgraph
+
+import "testing"
+
+func TestConv2DShapeAndCounts(t *testing.T) {
+	op := Conv2D{OutC: 64, Kernel: 3, Stride: 1, Pad: 1}
+	in := []Shape{{C: 3, H: 224, W: 224}}
+	out, err := op.InferShape(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 64, H: 224, W: 224}) {
+		t.Fatalf("out = %v", out)
+	}
+	if got := op.Weights(in); got != 3*3*3*64 {
+		t.Errorf("Weights = %d", got)
+	}
+	if got := op.MACs(in, out); got != 3*3*3*64*224*224 {
+		t.Errorf("MACs = %d", got)
+	}
+}
+
+func TestConv2DGroups(t *testing.T) {
+	op := Conv2D{OutC: 256, Kernel: 5, Stride: 1, Pad: 2, Groups: 2}
+	in := []Shape{{C: 96, H: 27, W: 27}}
+	out, err := op.InferShape(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 256, H: 27, W: 27}) {
+		t.Fatalf("out = %v", out)
+	}
+	// AlexNet conv2: 256×48×25 weights.
+	if got := op.Weights(in); got != 256*48*25 {
+		t.Errorf("grouped Weights = %d, want %d", got, 256*48*25)
+	}
+}
+
+func TestConv2DGroupDivisibility(t *testing.T) {
+	op := Conv2D{OutC: 6, Kernel: 3, Stride: 1, Groups: 4}
+	if _, err := op.InferShape([]Shape{{C: 8, H: 8, W: 8}}); err == nil {
+		t.Error("outC not divisible by groups accepted")
+	}
+	op2 := Conv2D{OutC: 8, Kernel: 3, Stride: 1, Groups: 4}
+	if _, err := op2.InferShape([]Shape{{C: 6, H: 8, W: 8}}); err == nil {
+		t.Error("inC not divisible by groups accepted")
+	}
+}
+
+func TestFCRequiresFlat(t *testing.T) {
+	op := FC{Out: 10}
+	if _, err := op.InferShape([]Shape{{C: 50, H: 4, W: 4}}); err == nil {
+		t.Error("FC accepted non-flat input")
+	}
+	out, err := op.InferShape([]Shape{Vec(800)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Vec(10) {
+		t.Fatalf("out = %v", out)
+	}
+	if got := op.Weights([]Shape{Vec(800)}); got != 8000 {
+		t.Errorf("Weights = %d", got)
+	}
+}
+
+func TestPoolShapes(t *testing.T) {
+	op := Pool{PoolKind: MaxPoolKind, Kernel: 3, Stride: 2}
+	out, err := op.InferShape([]Shape{{C: 96, H: 55, W: 55}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 96, H: 27, W: 27}) {
+		t.Fatalf("out = %v", out)
+	}
+	if op.Weights(nil) != 0 || op.MACs(nil, out) != 0 {
+		t.Error("pool reported nonzero weights/MACs")
+	}
+	bad := Pool{PoolKind: "median", Kernel: 2, Stride: 2}
+	if _, err := bad.InferShape([]Shape{{C: 1, H: 4, W: 4}}); err == nil {
+		t.Error("unknown pool kind accepted")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	out, err := GlobalAvgPool{}.InferShape([]Shape{{C: 1024, H: 7, W: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Vec(1024) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestAddShapeChecks(t *testing.T) {
+	a := Shape{C: 256, H: 56, W: 56}
+	if _, err := (Add{}).InferShape([]Shape{a, a}); err != nil {
+		t.Errorf("matching add rejected: %v", err)
+	}
+	if _, err := (Add{}).InferShape([]Shape{a, {C: 128, H: 56, W: 56}}); err == nil {
+		t.Error("mismatched add accepted")
+	}
+	if _, err := (Add{}).InferShape([]Shape{a}); err == nil {
+		t.Error("unary add accepted")
+	}
+}
+
+func TestConcatChannels(t *testing.T) {
+	out, err := (Concat{}).InferShape([]Shape{
+		{C: 64, H: 28, W: 28}, {C: 128, H: 28, W: 28}, {C: 32, H: 28, W: 28}, {C: 32, H: 28, W: 28},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 256, H: 28, W: 28}) {
+		t.Fatalf("out = %v", out)
+	}
+	if _, err := (Concat{}).InferShape([]Shape{{C: 1, H: 2, W: 2}, {C: 1, H: 3, W: 2}}); err == nil {
+		t.Error("spatial mismatch accepted")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	out, err := (Flatten{}).InferShape([]Shape{{C: 256, H: 6, W: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Vec(9216) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestWeightFreeOps(t *testing.T) {
+	in := []Shape{{C: 8, H: 8, W: 8}}
+	for _, op := range []Op{ReLU{}, LRN{}, BatchNorm{}, Softmax{}, Dropout{}} {
+		out, err := op.InferShape(in)
+		if err != nil {
+			t.Errorf("%s: %v", op.Kind(), err)
+			continue
+		}
+		if out != in[0] {
+			t.Errorf("%s: shape changed to %v", op.Kind(), out)
+		}
+		if op.Weights(in) != 0 || op.MACs(in, out) != 0 {
+			t.Errorf("%s: reported weights/MACs", op.Kind())
+		}
+	}
+}
+
+func TestOpKinds(t *testing.T) {
+	kinds := map[string]Op{
+		"input": Input{}, "conv2d": Conv2D{}, "fc": FC{},
+		"maxpool": Pool{PoolKind: MaxPoolKind}, "avgpool": Pool{PoolKind: AvgPoolKind},
+		"globalavgpool": GlobalAvgPool{}, "relu": ReLU{}, "lrn": LRN{},
+		"batchnorm": BatchNorm{}, "add": Add{}, "concat": Concat{},
+		"flatten": Flatten{}, "softmax": Softmax{}, "dropout": Dropout{},
+	}
+	for want, op := range kinds {
+		if got := op.Kind(); got != want {
+			t.Errorf("Kind = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGlobalAvgPoolCounts(t *testing.T) {
+	op := GlobalAvgPool{}
+	in := []Shape{{C: 8, H: 4, W: 4}}
+	out, err := op.InferShape(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Weights(in) != 0 || op.MACs(in, out) != 0 {
+		t.Error("GAP reported weights/MACs")
+	}
+	if _, err := op.InferShape(nil); err == nil {
+		t.Error("GAP with no operand accepted")
+	}
+}
+
+func TestAddConcatCounts(t *testing.T) {
+	a := Shape{C: 4, H: 2, W: 2}
+	for _, op := range []Op{Add{}, Concat{}} {
+		if op.Weights([]Shape{a, a}) != 0 {
+			t.Errorf("%s reported weights", op.Kind())
+		}
+		if op.MACs([]Shape{a, a}, a) != 0 {
+			t.Errorf("%s reported MACs", op.Kind())
+		}
+	}
+	if (Flatten{}).Weights([]Shape{a}) != 0 || (Flatten{}).MACs([]Shape{a}, Vec(16)) != 0 {
+		t.Error("flatten reported weights/MACs")
+	}
+	if _, err := (Flatten{}).InferShape(nil); err == nil {
+		t.Error("flatten with no operand accepted")
+	}
+}
+
+func TestGraphSummary(t *testing.T) {
+	g := New("s")
+	in := g.MustAdd("in", Input{Shape: Vec(4)})
+	g.MustAdd("fc", FC{Out: 2}, in)
+	s := g.Summary()
+	if s.Nodes != 2 || s.Weights != 8 || s.Ops != 16 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := (Input{Shape: Shape{}}).InferShape(nil); err == nil {
+		t.Error("invalid input shape accepted")
+	}
+	if _, err := (Input{Shape: Vec(4)}).InferShape([]Shape{Vec(4)}); err == nil {
+		t.Error("input with operands accepted")
+	}
+}

@@ -1,0 +1,47 @@
+// Package cgraph implements the computational-graph programming model the
+// paper's software stack consumes (§5, Figure 5): tensors flow through
+// typed operations with inferred shapes, and the graph reports the weight
+// and operation statistics (Table 3's "# of weights" / "# of ops" columns)
+// that drive the synthesizer and the performance model.
+//
+// Conventions follow the paper's accounting: weights count multiply
+// matrices only (conv kernels and FC matrices; biases and folded
+// BatchNorm/LRN parameters are excluded), and "ops" are 2×MACs of the
+// MAC-bearing operations, matching the Table 3 totals.
+package cgraph
+
+import "fmt"
+
+// Shape is a CHW tensor shape (no batch dimension; the pipeline processes
+// one sample per sampling window). Vectors use H = W = 1.
+type Shape struct {
+	C, H, W int
+}
+
+// Vec returns a 1-D feature shape.
+func Vec(n int) Shape { return Shape{C: n, H: 1, W: 1} }
+
+// Elems returns the number of scalar elements.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+// Valid reports whether all dimensions are positive.
+func (s Shape) Valid() bool { return s.C > 0 && s.H > 0 && s.W > 0 }
+
+// IsVec reports whether the shape is a flat feature vector.
+func (s Shape) IsVec() bool { return s.H == 1 && s.W == 1 }
+
+// String renders the shape as CxHxW.
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// convOut computes one spatial output dimension for a kernel/stride/pad
+// sliding window.
+func convOut(in, kernel, stride, pad int) (int, error) {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		return 0, fmt.Errorf("cgraph: bad window k=%d s=%d p=%d", kernel, stride, pad)
+	}
+	n := in + 2*pad - kernel
+	if n < 0 {
+		return 0, fmt.Errorf("cgraph: window k=%d exceeds padded input %d", kernel, in+2*pad)
+	}
+	return n/stride + 1, nil
+}

@@ -1,0 +1,53 @@
+package cgraph
+
+import "testing"
+
+func TestShapeBasics(t *testing.T) {
+	s := Shape{C: 3, H: 224, W: 224}
+	if got := s.Elems(); got != 3*224*224 {
+		t.Errorf("Elems = %d", got)
+	}
+	if !s.Valid() {
+		t.Error("valid shape reported invalid")
+	}
+	if s.IsVec() {
+		t.Error("3x224x224 reported as vector")
+	}
+	if got := s.String(); got != "3x224x224" {
+		t.Errorf("String = %q", got)
+	}
+	v := Vec(784)
+	if !v.IsVec() || v.Elems() != 784 {
+		t.Errorf("Vec(784) = %v", v)
+	}
+	if (Shape{C: 0, H: 1, W: 1}).Valid() {
+		t.Error("zero-channel shape reported valid")
+	}
+}
+
+func TestConvOut(t *testing.T) {
+	cases := []struct {
+		in, k, s, p int
+		want        int
+		wantErr     bool
+	}{
+		{224, 3, 1, 1, 224, false}, // same padding
+		{224, 2, 2, 0, 112, false}, // halving pool
+		{227, 11, 4, 0, 55, false}, // AlexNet conv1
+		{13, 3, 2, 0, 6, false},    // AlexNet pool5
+		{5, 7, 1, 0, 0, true},      // kernel larger than input
+		{8, 0, 1, 0, 0, true},      // zero kernel
+		{8, 3, 0, 0, 0, true},      // zero stride
+		{8, 3, 1, -1, 0, true},     // negative pad
+	}
+	for _, tc := range cases {
+		got, err := convOut(tc.in, tc.k, tc.s, tc.p)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("convOut(%d,%d,%d,%d) err = %v, wantErr %v", tc.in, tc.k, tc.s, tc.p, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("convOut(%d,%d,%d,%d) = %d, want %d", tc.in, tc.k, tc.s, tc.p, got, tc.want)
+		}
+	}
+}

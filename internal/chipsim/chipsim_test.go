@@ -1,0 +1,215 @@
+package chipsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpsa/internal/cgraph"
+	"fpsa/internal/synth"
+)
+
+// compiled builds a functional program for a random MLP.
+func compiled(t *testing.T, seed int64, dims []int) *synth.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := cgraph.New("chip")
+	in := g.MustAdd("input", cgraph.Input{Shape: cgraph.Vec(dims[0])})
+	x := in
+	weights := make(map[string][][]float64)
+	for i := 1; i < len(dims); i++ {
+		name := "fc" + string(rune('0'+i))
+		w := make([][]float64, dims[i-1])
+		for r := range w {
+			w[r] = make([]float64, dims[i])
+			for c := range w[r] {
+				w[r][c] = (rng.Float64()*2 - 1) / float64(dims[i-1])
+			}
+		}
+		weights[name] = w
+		x = g.MustAdd(name, cgraph.FC{Out: dims[i]}, x)
+		x = g.MustAdd(name+"_relu", cgraph.ReLU{}, x)
+	}
+	opts := synth.DefaultOptions()
+	opts.Weights = func(l string) [][]float64 { return weights[l] }
+	_, prog, err := synth.Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func randomCounts(rng *rand.Rand, n, window int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = rng.Intn(window + 1)
+	}
+	return in
+}
+
+func TestChipMatchesProgramSimulation(t *testing.T) {
+	// The scheduled chip execution (NBD train streaming + SMB buffering
+	// + controllers) must agree with the program-level spiking
+	// simulation within the stream-timing artefact: the chip forwards
+	// the producer's *raw* IF output train (§7.1's direct spike-train
+	// transmission), while the program-level simulator re-encodes each
+	// intermediate count as a uniform train — the subtracter is
+	// sensitive to spike placement by at most ±1 per stage.
+	prog := compiled(t, 41, []int{24, 16, 8})
+	rng := rand.New(rand.NewSource(42))
+	window := prog.Params.SamplingWindow()
+	for trial := 0; trial < 5; trial++ {
+		in := randomCounts(rng, 24, window)
+		want, err := prog.Run(in, synth.RunOptions{Mode: synth.ModeSpiking})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(prog, in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if d := got.Outputs[i] - want[i]; d < -2 || d > 2 {
+				t.Errorf("trial %d out[%d]: chip %d vs program %d", trial, i, got.Outputs[i], want[i])
+			}
+		}
+		if got.BufferedEdges != 0 {
+			t.Errorf("reuse-1 chain buffered %d edges", got.BufferedEdges)
+		}
+		if got.ControllerLUTs == 0 {
+			t.Error("no controller logic synthesized")
+		}
+	}
+}
+
+func TestChipRowSplitNetwork(t *testing.T) {
+	// Row-split layers add reduction stages with fan-in from multiple
+	// tiles; the chip path must still agree within the SMB saturation
+	// artefact (Γ stored as Γ−1) when buffers appear.
+	prog := compiled(t, 43, []int{600, 10})
+	rng := rand.New(rand.NewSource(44))
+	window := prog.Params.SamplingWindow()
+	in := randomCounts(rng, 600, window)
+	want, err := prog.Run(in, synth.RunOptions{Mode: synth.ModeSpiking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(prog, in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if d := got.Outputs[i] - want[i]; d < -2 || d > 2 {
+			t.Errorf("out[%d]: chip %d vs program %d", i, got.Outputs[i], want[i])
+		}
+	}
+	if got.MakespanCycles <= window {
+		t.Errorf("makespan %d not beyond one window", got.MakespanCycles)
+	}
+}
+
+func TestChipWithVariationStaysClose(t *testing.T) {
+	prog := compiled(t, 45, []int{24, 16, 8})
+	rng := rand.New(rand.NewSource(46))
+	window := prog.Params.SamplingWindow()
+	in := randomCounts(rng, 24, window)
+	ideal, err := Run(prog, in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Run(prog, in, Options{Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dev int
+	for i := range ideal.Outputs {
+		d := noisy.Outputs[i] - ideal.Outputs[i]
+		if d < 0 {
+			d = -d
+		}
+		dev += d
+	}
+	if mean := float64(dev) / float64(len(ideal.Outputs)); mean > 8 {
+		t.Errorf("mean |noisy − ideal| = %.2f counts", mean)
+	}
+}
+
+func TestChipInputValidation(t *testing.T) {
+	prog := compiled(t, 47, []int{8, 4})
+	if _, err := Run(prog, make([]int, 7), Options{}); err == nil {
+		t.Error("short input accepted")
+	}
+	bad := make([]int, 8)
+	bad[3] = 1 << 20
+	if _, err := Run(prog, bad, Options{}); err == nil {
+		t.Error("out-of-window input accepted")
+	}
+}
+
+func TestChipRejectsTimeMultiplexedPrograms(t *testing.T) {
+	// Convolutional functional programs reuse one group across many
+	// stages; the chip scheduler handles fully spatial programs only
+	// and must say so.
+	g := cgraph.New("conv")
+	in := g.MustAdd("input", cgraph.Input{Shape: cgraph.Shape{C: 1, H: 4, W: 4}})
+	c := g.MustAdd("conv", cgraph.Conv2D{OutC: 2, Kernel: 3, Stride: 1, Pad: 1}, in)
+	g.MustAdd("relu", cgraph.ReLU{}, c)
+	w := make([][]float64, 9)
+	for r := range w {
+		w[r] = []float64{0.1, -0.1}
+	}
+	opts := synth.DefaultOptions()
+	opts.Weights = func(string) [][]float64 { return w }
+	_, prog, err := synth.Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, make([]int, 16), Options{}); err == nil {
+		t.Error("time-multiplexed program accepted by chip scheduler")
+	}
+}
+
+func TestChipConsecutiveSamplesIndependent(t *testing.T) {
+	// Pipelined operation: successive samples through the same chip
+	// must produce the same outputs as isolated runs (no state leaks
+	// across sampling windows — the §4.2 reset contract).
+	prog := compiled(t, 51, []int{16, 12, 4})
+	rng := rand.New(rand.NewSource(52))
+	window := prog.Params.SamplingWindow()
+	inputs := make([][]int, 4)
+	isolated := make([][]int, 4)
+	for i := range inputs {
+		inputs[i] = randomCounts(rng, 16, window)
+		r, err := Run(prog, inputs[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		isolated[i] = r.Outputs
+	}
+	// Stream the same samples back-to-back.
+	for i := range inputs {
+		r, err := Run(prog, inputs[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range r.Outputs {
+			if r.Outputs[j] != isolated[i][j] {
+				t.Errorf("sample %d out[%d]: streamed %d vs isolated %d", i, j, r.Outputs[j], isolated[i][j])
+			}
+		}
+	}
+}
+
+func TestChipSMBTrafficAccounting(t *testing.T) {
+	// Buffered networks must report SMB write traffic; bufferless ones
+	// must not.
+	chain := compiled(t, 48, []int{16, 8})
+	rng := rand.New(rand.NewSource(49))
+	in := randomCounts(rng, 16, chain.Params.SamplingWindow())
+	res, err := Run(chain, in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BufferedEdges == 0 && res.SMBWrites != 0 {
+		t.Errorf("bufferless run wrote %d counts to SMBs", res.SMBWrites)
+	}
+}

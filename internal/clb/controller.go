@@ -1,0 +1,267 @@
+package clb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Controller is a schedule controller synthesized from LUT/FF primitives:
+// a mod-Period cycle counter whose state feeds equality comparators, one
+// per scheduled event. Each Step() advances one pipeline cycle and returns
+// the events asserted in that cycle. The mapper instantiates one controller
+// per pipeline stage to sequence weight reuse iterations, buffer strobes,
+// and neuron resets.
+type Controller struct {
+	period    int
+	stateBits int
+	luts      []lutNode
+	nextState []int          // node index computing the next value of each state bit
+	outputs   map[string]int // event name → node producing it
+	state     []bool         // FF values (counter bits)
+	cycle     int
+}
+
+// lutNode is one LUT instance in the controller's structural netlist; its
+// inputs reference either counter state bits (src < stateBits) or earlier
+// LUT outputs (src ≥ stateBits indexes luts[src−stateBits]).
+type lutNode struct {
+	lut  *LUT
+	srcs []int
+}
+
+// Event is a named control signal asserted at specific cycles of the
+// period.
+type Event struct {
+	Name   string
+	Cycles []int
+}
+
+// NewController synthesizes a controller for the given period and events
+// using LUTs of the given fan-in (6 in the evaluated fabric).
+func NewController(period, lutInputs int, events []Event) (*Controller, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("clb: controller period %d must be positive", period)
+	}
+	if lutInputs < 2 {
+		return nil, fmt.Errorf("clb: controller needs LUTs of fan-in ≥2, got %d", lutInputs)
+	}
+	bits := 1
+	for 1<<uint(bits) < period {
+		bits++
+	}
+	c := &Controller{
+		period:    period,
+		stateBits: bits,
+		outputs:   make(map[string]int),
+		state:     make([]bool, bits),
+	}
+	if err := c.buildCounter(lutInputs); err != nil {
+		return nil, err
+	}
+	for _, ev := range events {
+		for _, cy := range ev.Cycles {
+			if cy < 0 || cy >= period {
+				return nil, fmt.Errorf("clb: event %q cycle %d outside period %d", ev.Name, cy, period)
+			}
+		}
+		if _, dup := c.outputs[ev.Name]; dup {
+			return nil, fmt.Errorf("clb: duplicate event %q", ev.Name)
+		}
+		node, err := c.buildEventDetector(ev.Cycles, lutInputs)
+		if err != nil {
+			return nil, err
+		}
+		c.outputs[ev.Name] = node
+	}
+	return c, nil
+}
+
+// addLUT appends a node and returns its value index in the evaluation
+// namespace (state bits first, then LUT outputs).
+func (c *Controller) addLUT(lut *LUT, srcs ...int) int {
+	c.luts = append(c.luts, lutNode{lut: lut, srcs: srcs})
+	return c.stateBits + len(c.luts) - 1
+}
+
+// buildCounter emits next-state logic for a mod-period counter: an
+// incrementer carry chain plus a wrap comparator that resets the state to
+// zero after period−1.
+func (c *Controller) buildCounter(lutInputs int) error {
+	wrap, err := c.buildComparator(c.period-1, lutInputs)
+	if err != nil {
+		return err
+	}
+	c.nextState = make([]int, c.stateBits)
+	carry := -1 // -1 encodes the constant-true carry into bit 0
+	for i := 0; i < c.stateBits; i++ {
+		if carry < 0 {
+			lut, err := LUTFromFunc(2, func(in []bool) bool {
+				bit, w := in[0], in[1]
+				if w {
+					return false
+				}
+				return !bit // XOR with constant-true carry
+			})
+			if err != nil {
+				return err
+			}
+			c.nextState[i] = c.addLUT(lut, i, wrap)
+		} else {
+			lut, err := LUTFromFunc(3, func(in []bool) bool {
+				bit, cy, w := in[0], in[1], in[2]
+				if w {
+					return false
+				}
+				return bit != cy
+			})
+			if err != nil {
+				return err
+			}
+			c.nextState[i] = c.addLUT(lut, i, carry, wrap)
+		}
+		if i == c.stateBits-1 {
+			break
+		}
+		if carry < 0 {
+			idlut, err := LUTFromFunc(1, func(in []bool) bool { return in[0] })
+			if err != nil {
+				return err
+			}
+			carry = c.addLUT(idlut, i)
+		} else {
+			andlut, err := LUTFromFunc(2, func(in []bool) bool { return in[0] && in[1] })
+			if err != nil {
+				return err
+			}
+			carry = c.addLUT(andlut, i, carry)
+		}
+	}
+	return nil
+}
+
+// buildComparator emits a LUT tree asserting state == value and returns the
+// root node index.
+func (c *Controller) buildComparator(value, lutInputs int) (int, error) {
+	var partials []int
+	for lo := 0; lo < c.stateBits; lo += lutInputs {
+		hi := lo + lutInputs
+		if hi > c.stateBits {
+			hi = c.stateBits
+		}
+		lo, hi := lo, hi
+		lut, err := LUTFromFunc(hi-lo, func(in []bool) bool {
+			for b := lo; b < hi; b++ {
+				want := value&(1<<uint(b)) != 0
+				if in[b-lo] != want {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return 0, err
+		}
+		srcs := make([]int, hi-lo)
+		for b := lo; b < hi; b++ {
+			srcs[b-lo] = b
+		}
+		partials = append(partials, c.addLUT(lut, srcs...))
+	}
+	return c.reduceTree(partials, lutInputs, true)
+}
+
+// reduceTree reduces node outputs with AND (and=true) or OR LUTs and
+// returns the root node index.
+func (c *Controller) reduceTree(nodes []int, lutInputs int, and bool) (int, error) {
+	for len(nodes) > 1 {
+		var next []int
+		for lo := 0; lo < len(nodes); lo += lutInputs {
+			hi := lo + lutInputs
+			if hi > len(nodes) {
+				hi = len(nodes)
+			}
+			if hi-lo == 1 {
+				next = append(next, nodes[lo])
+				continue
+			}
+			lut, err := LUTFromFunc(hi-lo, func(in []bool) bool {
+				for _, v := range in {
+					if v != and {
+						return !and
+					}
+				}
+				return and
+			})
+			if err != nil {
+				return 0, err
+			}
+			next = append(next, c.addLUT(lut, append([]int(nil), nodes[lo:hi]...)...))
+		}
+		nodes = next
+	}
+	return nodes[0], nil
+}
+
+// buildEventDetector emits comparator+OR logic asserting at the given
+// cycles.
+func (c *Controller) buildEventDetector(cycles []int, lutInputs int) (int, error) {
+	if len(cycles) == 0 {
+		lut, err := LUTFromFunc(1, func([]bool) bool { return false })
+		if err != nil {
+			return 0, err
+		}
+		return c.addLUT(lut, 0), nil
+	}
+	sorted := append([]int(nil), cycles...)
+	sort.Ints(sorted)
+	var comps []int
+	for _, cy := range sorted {
+		node, err := c.buildComparator(cy, lutInputs)
+		if err != nil {
+			return 0, err
+		}
+		comps = append(comps, node)
+	}
+	return c.reduceTree(comps, lutInputs, false)
+}
+
+// Step advances one cycle: it evaluates the netlist on the current counter
+// state, returns the set of asserted events, then clocks the counter FFs.
+func (c *Controller) Step() (map[string]bool, error) {
+	values := make([]bool, c.stateBits+len(c.luts))
+	copy(values, c.state)
+	for i, node := range c.luts {
+		in := make([]bool, len(node.srcs))
+		for k, s := range node.srcs {
+			in[k] = values[s]
+		}
+		v, err := node.lut.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		values[c.stateBits+i] = v
+	}
+	asserted := make(map[string]bool, len(c.outputs))
+	for name, node := range c.outputs {
+		asserted[name] = values[node]
+	}
+	for i := range c.state {
+		c.state[i] = values[c.nextState[i]]
+	}
+	c.cycle = (c.cycle + 1) % c.period
+	return asserted, nil
+}
+
+// Cycle returns the controller's current cycle within the period (the value
+// the counter FFs encode before the next Step).
+func (c *Controller) Cycle() int { return c.cycle }
+
+// Period returns the schedule period P.
+func (c *Controller) Period() int { return c.period }
+
+// LUTCount returns how many LUT primitives the synthesized controller
+// consumes — the number the mapper charges against CLB budgets.
+func (c *Controller) LUTCount() int { return len(c.luts) }
+
+// StateBits returns the number of counter flip-flops.
+func (c *Controller) StateBits() int { return c.stateBits }

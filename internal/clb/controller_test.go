@@ -1,0 +1,119 @@
+package clb
+
+import (
+	"testing"
+
+	"fpsa/internal/device"
+)
+
+func stepN(t *testing.T, c *Controller, n int) []map[string]bool {
+	t.Helper()
+	out := make([]map[string]bool, n)
+	for i := range out {
+		m, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func TestControllerCountsModPeriod(t *testing.T) {
+	for _, period := range []int{1, 2, 3, 7, 8, 64, 100} {
+		c, err := NewController(period, 6, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3*period; i++ {
+			if got := c.Cycle(); got != i%period {
+				t.Fatalf("period %d: cycle %d reported as %d", period, i, got)
+			}
+			if _, err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestControllerEventFiresAtScheduledCycles(t *testing.T) {
+	const period = 37
+	events := []Event{
+		{Name: "reset", Cycles: []int{0}},
+		{Name: "strobe", Cycles: []int{5, 11, 36}},
+		{Name: "never", Cycles: nil},
+	}
+	c, err := NewController(period, 6, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := stepN(t, c, 2*period)
+	for i, m := range steps {
+		cy := i % period
+		if got := m["reset"]; got != (cy == 0) {
+			t.Errorf("cycle %d: reset = %v", cy, got)
+		}
+		wantStrobe := cy == 5 || cy == 11 || cy == 36
+		if got := m["strobe"]; got != wantStrobe {
+			t.Errorf("cycle %d: strobe = %v, want %v", cy, got, wantStrobe)
+		}
+		if m["never"] {
+			t.Errorf("cycle %d: never asserted", cy)
+		}
+	}
+}
+
+func TestControllerPeriodOne(t *testing.T) {
+	c, err := NewController(1, 6, []Event{{Name: "tick", Cycles: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m["tick"] {
+			t.Fatalf("step %d: tick not asserted", i)
+		}
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 6, nil); err == nil {
+		t.Error("period 0 accepted")
+	}
+	if _, err := NewController(8, 1, nil); err == nil {
+		t.Error("fan-in 1 accepted")
+	}
+	if _, err := NewController(8, 6, []Event{{Name: "x", Cycles: []int{8}}}); err == nil {
+		t.Error("out-of-period cycle accepted")
+	}
+	if _, err := NewController(8, 6, []Event{{Name: "x"}, {Name: "x"}}); err == nil {
+		t.Error("duplicate event accepted")
+	}
+}
+
+func TestControllerLUTCountScales(t *testing.T) {
+	small, err := NewController(8, 6, []Event{{Name: "a", Cycles: []int{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewController(50000, 6, []Event{{Name: "a", Cycles: []int{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.LUTCount() <= 0 {
+		t.Fatal("small controller consumes no LUTs")
+	}
+	if big.LUTCount() <= small.LUTCount() {
+		t.Errorf("big controller LUTs %d not > small %d", big.LUTCount(), small.LUTCount())
+	}
+	if big.StateBits() != 16 {
+		t.Errorf("50000-cycle counter has %d state bits, want 16", big.StateBits())
+	}
+	// A realistic per-stage controller must fit in a handful of CLBs.
+	if blocks := BlocksNeeded(device.Params45nm, big.LUTCount()); blocks > 2 {
+		t.Errorf("big controller needs %d CLBs, want ≤2", blocks)
+	}
+}

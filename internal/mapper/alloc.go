@@ -1,0 +1,75 @@
+// Package mapper implements FPSA's spatial-to-temporal mapper (paper §5.2):
+// it allocates PE copies to weight groups (duplication degrees), schedules
+// core-op execution under the paper's five constraints (Algorithm 1),
+// decides where SMB buffers are required, and emits the function-block
+// netlist for placement & routing.
+package mapper
+
+import (
+	"fmt"
+
+	"fpsa/internal/coreop"
+)
+
+// Allocation assigns PE copies to weight groups.
+type Allocation struct {
+	// ModelDup is the model's duplication degree: the duplication of the
+	// group with the maximum reuse degree (§5.2).
+	ModelDup int
+	// Dup[g] is group g's duplication degree (≥1).
+	Dup []int
+	// Iterations[g] = ceil(reuse/dup): how many time-division iterations
+	// group g needs per sample.
+	Iterations []int
+	// TotalPEs is Σ dup.
+	TotalPEs int
+}
+
+// Allocate balances pipeline stages for the requested model duplication
+// degree: the target iteration count is that of the maximum-reuse group at
+// modelDup copies, and every group receives just enough duplicates to meet
+// it (never more copies than its reuse degree can use).
+func Allocate(g *coreop.Graph, modelDup int) (Allocation, error) {
+	if modelDup < 1 {
+		return Allocation{}, fmt.Errorf("mapper: duplication degree %d must be ≥1", modelDup)
+	}
+	if len(g.Groups) == 0 {
+		return Allocation{}, fmt.Errorf("mapper: empty core-op graph")
+	}
+	maxReuse := g.MaxReuse()
+	if modelDup > maxReuse {
+		modelDup = maxReuse // more copies than reuse degree cannot help
+	}
+	target := ceilDiv(maxReuse, modelDup)
+	a := Allocation{
+		ModelDup:   modelDup,
+		Dup:        make([]int, len(g.Groups)),
+		Iterations: make([]int, len(g.Groups)),
+	}
+	for i, grp := range g.Groups {
+		dup := ceilDiv(grp.Reuse, target)
+		if dup < 1 {
+			dup = 1
+		}
+		if dup > grp.Reuse {
+			dup = grp.Reuse
+		}
+		a.Dup[i] = dup
+		a.Iterations[i] = ceilDiv(grp.Reuse, dup)
+		a.TotalPEs += dup
+	}
+	return a, nil
+}
+
+// MaxIterations returns the pipeline-bottleneck iteration count.
+func (a Allocation) MaxIterations() int {
+	max := 0
+	for _, it := range a.Iterations {
+		if it > max {
+			max = it
+		}
+	}
+	return max
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,169 @@
+package mapper
+
+import (
+	"fmt"
+
+	"fpsa/internal/clb"
+	"fpsa/internal/coreop"
+	"fpsa/internal/device"
+	"fpsa/internal/netlist"
+	"fpsa/internal/smb"
+)
+
+// BuildNetlist emits the function-block netlist for a core-op graph under
+// an allocation: one PE per group copy, SMB buffers on buffered edges, and
+// CLB control logic sized by actually synthesizing the per-group schedule
+// controllers.
+//
+// bufferedEdges may carry op-scheduler decisions lifted to group pairs
+// (Schedule.BufferedGroupEdges); if nil, the steady-state pipeline rule
+// applies: an edge chains bufferlessly (NBD) only when neither side
+// time-multiplexes its weights (both iteration counts are 1), which is the
+// paper's direct spike-train chaining; every time-division-multiplexed
+// connection needs an SMB to hold intermediate counts (§5.2).
+func BuildNetlist(g *coreop.Graph, a Allocation, params device.Params, bufferedEdges map[Edge]bool) (*netlist.Netlist, error) {
+	if len(a.Dup) != len(g.Groups) {
+		return nil, fmt.Errorf("mapper: allocation covers %d groups, graph has %d", len(a.Dup), len(g.Groups))
+	}
+	nl := &netlist.Netlist{Name: g.Name}
+	window := params.SamplingWindow()
+
+	// PE instances.
+	peIDs := make([][]int, len(g.Groups))
+	for gi, grp := range g.Groups {
+		peIDs[gi] = make([]int, a.Dup[gi])
+		for c := 0; c < a.Dup[gi]; c++ {
+			peIDs[gi][c] = nl.AddBlock(netlist.BlockPE, fmt.Sprintf("%s#%d", grp.Name, c), gi, c)
+		}
+	}
+
+	needsBuffer := func(u, v int) bool {
+		if bufferedEdges != nil {
+			return bufferedEdges[Edge{From: u, To: v}]
+		}
+		return a.Iterations[u] > 1 || a.Iterations[v] > 1
+	}
+
+	// Buffered producers get one double-buffered SMB bank each, shared
+	// by every consumer (the bank stores the producer's output counts
+	// once; each reader has its own port schedule — the BC constraint).
+	bankOf := make(map[int][]int)
+	bank := func(ui int) []int {
+		if ids, ok := bankOf[ui]; ok {
+			return ids
+		}
+		src := g.Groups[ui]
+		blocks := smb.BlocksNeeded(params, 2*src.Cols, window)
+		ids := make([]int, blocks)
+		for b := 0; b < blocks; b++ {
+			ids[b] = nl.AddBlock(netlist.BlockSMB, fmt.Sprintf("%s.buf%d", src.Name, b), ui, b)
+		}
+		for _, p := range peIDs[ui] {
+			nl.AddNet(p, ids, src.Cols)
+		}
+		bankOf[ui] = ids
+		return ids
+	}
+
+	// Data connections.
+	groupInBufs := make(map[int][]int) // consumer group → SMB block IDs on its inputs
+	for vi, grp := range g.Groups {
+		for _, ui := range grp.Deps {
+			src := g.Groups[ui]
+			signals := src.Cols
+			if needsBuffer(ui, vi) {
+				bufIDs := bank(ui)
+				groupInBufs[vi] = append(groupInBufs[vi], bufIDs...)
+				for _, b := range bufIDs {
+					nl.AddNet(b, peIDs[vi], signals)
+				}
+				continue
+			}
+			// Direct spike-train chaining: rate-matched copy pairing.
+			du, dv := a.Dup[ui], a.Dup[vi]
+			pairs := du
+			if dv > pairs {
+				pairs = dv
+			}
+			sinksOf := make(map[int][]int)
+			for c := 0; c < pairs; c++ {
+				sinksOf[c%du] = append(sinksOf[c%du], peIDs[vi][c%dv])
+			}
+			for c, sinks := range sinksOf {
+				nl.AddNet(peIDs[ui][c], dedupe(sinks), signals)
+			}
+		}
+	}
+
+	// Control logic: synthesize the real per-group controllers to obtain
+	// LUT counts, then pack them into CLBs.
+	totalLUTs := 0
+	type domain struct {
+		group int
+		luts  int
+	}
+	var domains []domain
+	for gi := range g.Groups {
+		luts, err := controllerLUTs(params, window, a.Iterations[gi])
+		if err != nil {
+			return nil, err
+		}
+		totalLUTs += luts
+		domains = append(domains, domain{group: gi, luts: luts})
+	}
+	clbCount := clb.BlocksNeeded(params, totalLUTs)
+	clbIDs := make([]int, clbCount)
+	for i := range clbIDs {
+		clbIDs[i] = nl.AddBlock(netlist.BlockCLB, fmt.Sprintf("ctl%d", i), -1, i)
+	}
+	// Assign control domains to CLBs first-fit and emit control nets.
+	if clbCount > 0 {
+		free := params.CLBLUTs
+		cur := 0
+		for _, d := range domains {
+			if d.luts > free && cur < clbCount-1 {
+				cur++
+				free = params.CLBLUTs
+			}
+			free -= d.luts
+			sinks := append([]int(nil), peIDs[d.group]...)
+			sinks = append(sinks, groupInBufs[d.group]...)
+			nl.AddNet(clbIDs[cur], sinks, 2) // reset + iteration-select strobes
+		}
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// controllerLUTs synthesizes the schedule controllers one group needs — a
+// mod-Γ window/reset counter and, when the group time-multiplexes its
+// weights, a mod-iterations counter — and returns their LUT cost.
+func controllerLUTs(params device.Params, window, iterations int) (int, error) {
+	reset, err := clb.NewController(window, params.LUTInputs, []clb.Event{{Name: "reset", Cycles: []int{0}}})
+	if err != nil {
+		return 0, err
+	}
+	luts := reset.LUTCount()
+	if iterations > 1 {
+		iter, err := clb.NewController(iterations, params.LUTInputs, []clb.Event{{Name: "next", Cycles: []int{iterations - 1}}})
+		if err != nil {
+			return 0, err
+		}
+		luts += iter.LUTCount()
+	}
+	return luts, nil
+}
+
+func dedupe(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

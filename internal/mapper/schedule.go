@@ -1,0 +1,235 @@
+package mapper
+
+import (
+	"fmt"
+	"sort"
+
+	"fpsa/internal/coreop"
+)
+
+// ExpandedOp is one core-op instance: group × position index.
+type ExpandedOp struct {
+	ID    int
+	Group int
+	Index int
+	Deps  []int // producer op IDs
+}
+
+// OpGraph is a core-op graph unrolled to individual core-ops, the structure
+// Algorithm 1 schedules. Dependencies between groups with different reuse
+// degrees are rate-matched: position i of a group consumes position
+// floor(i·reuseDep/reuse) of each dependency.
+type OpGraph struct {
+	Groups *coreop.Graph
+	Ops    []ExpandedOp
+}
+
+// Expand unrolls g; it refuses graphs above maxOps core-ops (use the
+// group-level pipeline model for the large zoo models).
+func Expand(g *coreop.Graph, maxOps int) (*OpGraph, error) {
+	total := g.TotalCoreOps()
+	if total > int64(maxOps) {
+		return nil, fmt.Errorf("mapper: %d core-ops exceed expansion limit %d", total, maxOps)
+	}
+	og := &OpGraph{Groups: g}
+	base := make([]int, len(g.Groups))
+	id := 0
+	for gi, grp := range g.Groups {
+		base[gi] = id
+		id += grp.Reuse
+	}
+	og.Ops = make([]ExpandedOp, 0, id)
+	for gi, grp := range g.Groups {
+		for i := 0; i < grp.Reuse; i++ {
+			op := ExpandedOp{ID: base[gi] + i, Group: gi, Index: i}
+			for _, d := range grp.Deps {
+				dr := g.Groups[d].Reuse
+				j := i * dr / grp.Reuse
+				op.Deps = append(op.Deps, base[d]+j)
+			}
+			og.Ops = append(og.Ops, op)
+		}
+	}
+	return og, nil
+}
+
+// Edge identifies a producer→consumer op pair.
+type Edge struct{ From, To int }
+
+// Schedule is Algorithm 1's output: start/end cycles, PE assignments, and
+// the edges that required SMB buffers.
+type Schedule struct {
+	Start    []int
+	End      []int
+	PE       []int
+	Buffered map[Edge]bool
+	Makespan int
+}
+
+// ScheduleOps runs the greedy list scheduler of Algorithm 1 over the
+// expanded graph under allocation a with sampling window gamma. It
+// maintains the paper's constraints:
+//
+//	RC  — ops on one PE never overlap;
+//	NBD — a bufferless edge starts the consumer exactly one cycle after
+//	      the producer so the spike train is consumed as it is produced;
+//	BD  — a buffered edge starts the consumer strictly after the producer
+//	      ends;
+//	BC  — readers of one buffer port are serialized ≥ Γ apart;
+//	SW  — every core-op runs for the full sampling window.
+//
+// Unlike the paper's pseudo-code, already-placed ops are never revisited;
+// instead the current op is delayed (and its incoming edges buffered) until
+// all constraints hold, which converges because start times only increase.
+// This monotonic variant can insert more buffers than the paper's ripple
+// variant (which re-times earlier nodes to preserve streaming), but every
+// schedule it emits satisfies the same five constraints — the independent
+// Validate method is the contract.
+func ScheduleOps(og *OpGraph, a Allocation, gamma int) (*Schedule, error) {
+	if gamma <= 0 {
+		return nil, fmt.Errorf("mapper: sampling window %d", gamma)
+	}
+	n := len(og.Ops)
+	s := &Schedule{
+		Start:    make([]int, n),
+		End:      make([]int, n),
+		PE:       make([]int, n),
+		Buffered: make(map[Edge]bool),
+	}
+	peBase := make([]int, len(og.Groups.Groups))
+	next := 0
+	for gi := range og.Groups.Groups {
+		peBase[gi] = next
+		next += a.Dup[gi]
+	}
+	nextFree := make([]int, next)          // PE → earliest start
+	lastReaderEnd := make(map[int]int, 64) // producer op → latest buffered-reader end
+	for _, op := range og.Ops {
+		pe := peBase[op.Group] + op.Index%a.Dup[op.Group]
+		sv := 0
+		for _, u := range op.Deps {
+			if t := s.Start[u] + 1; t > sv {
+				sv = t
+			}
+		}
+		for {
+			moved := false
+			for _, u := range op.Deps {
+				e := Edge{From: u, To: op.ID}
+				if !s.Buffered[e] && sv <= s.Start[u]+1 {
+					continue // NBD holds
+				}
+				if !s.Buffered[e] {
+					s.Buffered[e] = true
+				}
+				if sv <= s.End[u] { // BD
+					sv = s.End[u] + 1
+					moved = true
+				}
+				if last, ok := lastReaderEnd[u]; ok && sv <= last { // BC
+					sv = last + 1
+					moved = true
+				}
+			}
+			if sv < nextFree[pe] { // RC
+				sv = nextFree[pe]
+				moved = true
+			}
+			if !moved {
+				break
+			}
+		}
+		s.Start[op.ID] = sv
+		s.End[op.ID] = sv + gamma
+		s.PE[op.ID] = pe
+		nextFree[pe] = s.End[op.ID] + 1
+		for _, u := range op.Deps {
+			if s.Buffered[Edge{From: u, To: op.ID}] {
+				if e := s.End[op.ID]; e > lastReaderEnd[u] {
+					lastReaderEnd[u] = e
+				}
+			}
+		}
+		if s.End[op.ID] > s.Makespan {
+			s.Makespan = s.End[op.ID]
+		}
+	}
+	return s, nil
+}
+
+// BufferedGroupEdges lifts op-level buffer decisions to group pairs.
+func (s *Schedule) BufferedGroupEdges(og *OpGraph) map[Edge]bool {
+	out := make(map[Edge]bool)
+	for e := range s.Buffered {
+		out[Edge{From: og.Ops[e.From].Group, To: og.Ops[e.To].Group}] = true
+	}
+	return out
+}
+
+// Validate independently re-checks every constraint; it shares no logic
+// with the scheduler.
+func (s *Schedule) Validate(og *OpGraph, a Allocation, gamma int) error {
+	// SW.
+	for _, op := range og.Ops {
+		if s.End[op.ID] < s.Start[op.ID]+gamma {
+			return fmt.Errorf("mapper: op %d violates SW: [%d,%d] with Γ=%d", op.ID, s.Start[op.ID], s.End[op.ID], gamma)
+		}
+	}
+	// RC: per PE, sorted intervals must be strictly disjoint.
+	byPE := make(map[int][]int)
+	for _, op := range og.Ops {
+		byPE[s.PE[op.ID]] = append(byPE[s.PE[op.ID]], op.ID)
+	}
+	for pe, ops := range byPE {
+		sort.Slice(ops, func(i, j int) bool { return s.Start[ops[i]] < s.Start[ops[j]] })
+		for i := 1; i < len(ops); i++ {
+			if s.Start[ops[i]] <= s.End[ops[i-1]] {
+				return fmt.Errorf("mapper: PE %d ops %d,%d violate RC", pe, ops[i-1], ops[i])
+			}
+		}
+	}
+	// NBD / BD per edge.
+	for _, op := range og.Ops {
+		for _, u := range op.Deps {
+			if s.Buffered[Edge{From: u, To: op.ID}] {
+				if s.Start[op.ID] <= s.End[u] {
+					return fmt.Errorf("mapper: edge %d→%d violates BD", u, op.ID)
+				}
+			} else {
+				if s.Start[op.ID] > s.Start[u]+1 || s.End[op.ID] < s.End[u]+1 {
+					return fmt.Errorf("mapper: edge %d→%d violates NBD", u, op.ID)
+				}
+			}
+		}
+	}
+	// BC: buffered readers of one producer end ≥ Γ apart pairwise.
+	readers := make(map[int][]int)
+	for e, buf := range s.Buffered {
+		if buf {
+			readers[e.From] = append(readers[e.From], e.To)
+		}
+	}
+	for u, rs := range readers {
+		sort.Slice(rs, func(i, j int) bool { return s.End[rs[i]] < s.End[rs[j]] })
+		for i := 1; i < len(rs); i++ {
+			if s.End[rs[i]]-s.End[rs[i-1]] <= gamma {
+				return fmt.Errorf("mapper: buffer of op %d violates BC: readers %d,%d end %d apart",
+					u, rs[i-1], rs[i], s.End[rs[i]]-s.End[rs[i-1]])
+			}
+		}
+	}
+	// PE assignment sanity: copies of one group only.
+	peBase := make([]int, len(og.Groups.Groups))
+	next := 0
+	for gi := range og.Groups.Groups {
+		peBase[gi] = next
+		next += a.Dup[gi]
+	}
+	for _, op := range og.Ops {
+		lo, hi := peBase[op.Group], peBase[op.Group]+a.Dup[op.Group]
+		if s.PE[op.ID] < lo || s.PE[op.ID] >= hi {
+			return fmt.Errorf("mapper: op %d assigned PE %d outside its group range [%d,%d)", op.ID, s.PE[op.ID], lo, hi)
+		}
+	}
+	return nil
+}

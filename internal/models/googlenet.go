@@ -1,0 +1,88 @@
+package models
+
+import (
+	"fmt"
+
+	"fpsa/internal/cgraph"
+)
+
+// inceptionSpec is one GoogLeNet inception module's branch widths.
+type inceptionSpec struct {
+	name     string
+	c1x1     int // 1×1 branch
+	c3x3r    int // 3×3 reduce
+	c3x3     int // 3×3 branch
+	c5x5r    int // 5×5 reduce
+	c5x5     int // 5×5 branch
+	poolProj int // pool-projection branch
+}
+
+// GoogLeNet is the 22-layer inception-v1 network (9 inception modules) on
+// 224×224 ImageNet inputs, auxiliary classifiers excluded as in the
+// deployed inference graph: 7.0M weights, 3.2G ops.
+func GoogLeNet() *cgraph.Graph {
+	g := cgraph.New(NameGoogLeNet)
+	x := g.MustAdd("input", cgraph.Input{Shape: cgraph.Shape{C: 3, H: 224, W: 224}})
+	x = g.MustAdd("conv1", cgraph.Conv2D{OutC: 64, Kernel: 7, Stride: 2, Pad: 3}, x)
+	x = g.MustAdd("conv1_relu", cgraph.ReLU{}, x)
+	x = g.MustAdd("pool1", cgraph.Pool{PoolKind: cgraph.MaxPoolKind, Kernel: 3, Stride: 2, Pad: 1}, x)
+	x = g.MustAdd("lrn1", cgraph.LRN{}, x)
+	x = g.MustAdd("conv2_reduce", cgraph.Conv2D{OutC: 64, Kernel: 1, Stride: 1}, x)
+	x = g.MustAdd("conv2_reduce_relu", cgraph.ReLU{}, x)
+	x = g.MustAdd("conv2", cgraph.Conv2D{OutC: 192, Kernel: 3, Stride: 1, Pad: 1}, x)
+	x = g.MustAdd("conv2_relu", cgraph.ReLU{}, x)
+	x = g.MustAdd("lrn2", cgraph.LRN{}, x)
+	x = g.MustAdd("pool2", cgraph.Pool{PoolKind: cgraph.MaxPoolKind, Kernel: 3, Stride: 2, Pad: 1}, x)
+
+	specs3 := []inceptionSpec{
+		{"3a", 64, 96, 128, 16, 32, 32},
+		{"3b", 128, 128, 192, 32, 96, 64},
+	}
+	for _, s := range specs3 {
+		x = inception(g, s, x)
+	}
+	x = g.MustAdd("pool3", cgraph.Pool{PoolKind: cgraph.MaxPoolKind, Kernel: 3, Stride: 2, Pad: 1}, x)
+
+	specs4 := []inceptionSpec{
+		{"4a", 192, 96, 208, 16, 48, 64},
+		{"4b", 160, 112, 224, 24, 64, 64},
+		{"4c", 128, 128, 256, 24, 64, 64},
+		{"4d", 112, 144, 288, 32, 64, 64},
+		{"4e", 256, 160, 320, 32, 128, 128},
+	}
+	for _, s := range specs4 {
+		x = inception(g, s, x)
+	}
+	x = g.MustAdd("pool4", cgraph.Pool{PoolKind: cgraph.MaxPoolKind, Kernel: 3, Stride: 2, Pad: 1}, x)
+
+	specs5 := []inceptionSpec{
+		{"5a", 256, 160, 320, 32, 128, 128},
+		{"5b", 384, 192, 384, 48, 128, 128},
+	}
+	for _, s := range specs5 {
+		x = inception(g, s, x)
+	}
+
+	x = g.MustAdd("gap", cgraph.GlobalAvgPool{}, x)
+	x = g.MustAdd("drop", cgraph.Dropout{}, x)
+	x = g.MustAdd("fc", cgraph.FC{Out: 1000}, x)
+	g.MustAdd("softmax", cgraph.Softmax{}, x)
+	return g
+}
+
+// inception appends one inception module and returns its concat output.
+func inception(g *cgraph.Graph, s inceptionSpec, in *cgraph.Node) *cgraph.Node {
+	p := func(branch string) string { return fmt.Sprintf("inc%s_%s", s.name, branch) }
+	convRelu := func(name string, op cgraph.Conv2D, src *cgraph.Node) *cgraph.Node {
+		n := g.MustAdd(name, op, src)
+		return g.MustAdd(name+"_relu", cgraph.ReLU{}, n)
+	}
+	b1 := convRelu(p("1x1"), cgraph.Conv2D{OutC: s.c1x1, Kernel: 1, Stride: 1}, in)
+	b2 := convRelu(p("3x3r"), cgraph.Conv2D{OutC: s.c3x3r, Kernel: 1, Stride: 1}, in)
+	b2 = convRelu(p("3x3"), cgraph.Conv2D{OutC: s.c3x3, Kernel: 3, Stride: 1, Pad: 1}, b2)
+	b3 := convRelu(p("5x5r"), cgraph.Conv2D{OutC: s.c5x5r, Kernel: 1, Stride: 1}, in)
+	b3 = convRelu(p("5x5"), cgraph.Conv2D{OutC: s.c5x5, Kernel: 5, Stride: 1, Pad: 2}, b3)
+	b4 := g.MustAdd(p("pool"), cgraph.Pool{PoolKind: cgraph.MaxPoolKind, Kernel: 3, Stride: 1, Pad: 1}, in)
+	b4 = convRelu(p("proj"), cgraph.Conv2D{OutC: s.poolProj, Kernel: 1, Stride: 1}, b4)
+	return g.MustAdd(p("concat"), cgraph.Concat{}, b1, b2, b3, b4)
+}

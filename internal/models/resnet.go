@@ -1,0 +1,69 @@
+package models
+
+import (
+	"fmt"
+
+	"fpsa/internal/cgraph"
+)
+
+// ResNet152 is the 152-layer residual network with bottleneck blocks
+// ([3, 8, 36, 3] per stage) on 224×224 ImageNet inputs: 57.7M weights,
+// 22.6G ops (BatchNorm folds into the convolutions at synthesis time and
+// carries no counted weights).
+func ResNet152() *cgraph.Graph {
+	g := cgraph.New(NameResNet152)
+	x := g.MustAdd("input", cgraph.Input{Shape: cgraph.Shape{C: 3, H: 224, W: 224}})
+	x = g.MustAdd("conv1", cgraph.Conv2D{OutC: 64, Kernel: 7, Stride: 2, Pad: 3}, x)
+	x = g.MustAdd("conv1_bn", cgraph.BatchNorm{}, x)
+	x = g.MustAdd("conv1_relu", cgraph.ReLU{}, x)
+	x = g.MustAdd("pool1", cgraph.Pool{PoolKind: cgraph.MaxPoolKind, Kernel: 3, Stride: 2, Pad: 1}, x)
+
+	stages := []struct {
+		name   string
+		mid    int // bottleneck width
+		out    int // expansion width (4×mid)
+		blocks int
+		stride int // first block's spatial stride
+	}{
+		{"res2", 64, 256, 3, 1},
+		{"res3", 128, 512, 8, 2},
+		{"res4", 256, 1024, 36, 2},
+		{"res5", 512, 2048, 3, 2},
+	}
+	for _, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			x = bottleneck(g, fmt.Sprintf("%s_%d", st.name, b+1), st.mid, st.out, stride, b == 0, x)
+		}
+	}
+
+	x = g.MustAdd("gap", cgraph.GlobalAvgPool{}, x)
+	x = g.MustAdd("fc", cgraph.FC{Out: 1000}, x)
+	g.MustAdd("softmax", cgraph.Softmax{}, x)
+	return g
+}
+
+// bottleneck appends one 1×1→3×3→1×1 residual block; the first block of a
+// stage carries a projection shortcut.
+func bottleneck(g *cgraph.Graph, name string, mid, out, stride int, project bool, in *cgraph.Node) *cgraph.Node {
+	convBN := func(suffix string, op cgraph.Conv2D, src *cgraph.Node, relu bool) *cgraph.Node {
+		n := g.MustAdd(name+suffix, op, src)
+		n = g.MustAdd(name+suffix+"_bn", cgraph.BatchNorm{}, n)
+		if relu {
+			n = g.MustAdd(name+suffix+"_relu", cgraph.ReLU{}, n)
+		}
+		return n
+	}
+	branch := convBN("_a", cgraph.Conv2D{OutC: mid, Kernel: 1, Stride: stride}, in, true)
+	branch = convBN("_b", cgraph.Conv2D{OutC: mid, Kernel: 3, Stride: 1, Pad: 1}, branch, true)
+	branch = convBN("_c", cgraph.Conv2D{OutC: out, Kernel: 1, Stride: 1}, branch, false)
+	shortcut := in
+	if project {
+		shortcut = convBN("_proj", cgraph.Conv2D{OutC: out, Kernel: 1, Stride: stride}, in, false)
+	}
+	sum := g.MustAdd(name+"_add", cgraph.Add{}, branch, shortcut)
+	return g.MustAdd(name+"_relu", cgraph.ReLU{}, sum)
+}

@@ -1,0 +1,88 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"fpsa/internal/device"
+)
+
+func TestAddBlockAndCounts(t *testing.T) {
+	nl := &Netlist{Name: "n"}
+	nl.AddBlock(BlockPE, "pe0", 0, 0)
+	nl.AddBlock(BlockPE, "pe1", 0, 1)
+	nl.AddBlock(BlockSMB, "buf", 0, 0)
+	nl.AddBlock(BlockCLB, "ctl", -1, 0)
+	pes, smbs, clbs := nl.Counts()
+	if pes != 2 || smbs != 1 || clbs != 1 {
+		t.Errorf("counts = %d,%d,%d", pes, smbs, clbs)
+	}
+}
+
+func TestBlockTypeString(t *testing.T) {
+	if BlockPE.String() != "PE" || BlockSMB.String() != "SMB" || BlockCLB.String() != "CLB" {
+		t.Error("block type names wrong")
+	}
+	if !strings.Contains(BlockType(9).String(), "9") {
+		t.Error("unknown type rendering")
+	}
+}
+
+func TestAreaUM2(t *testing.T) {
+	nl := &Netlist{}
+	nl.AddBlock(BlockPE, "pe", 0, 0)
+	nl.AddBlock(BlockSMB, "smb", 0, 0)
+	p := device.Params45nm
+	want := p.PETotal.AreaUM2 + p.SMB.AreaUM2
+	if got := nl.AreaUM2(p); got != want {
+		t.Errorf("AreaUM2 = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Netlist{}
+	a := good.AddBlock(BlockPE, "a", 0, 0)
+	b := good.AddBlock(BlockPE, "b", 1, 0)
+	good.AddNet(a, []int{b}, 4)
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	cases := []struct {
+		name  string
+		build func() *Netlist
+	}{
+		{"bad source", func() *Netlist {
+			nl := &Netlist{}
+			s := nl.AddBlock(BlockPE, "a", 0, 0)
+			nl.AddNet(s, []int{s + 1}, 1) // sink out of range
+			return nl
+		}},
+		{"no sinks", func() *Netlist {
+			nl := &Netlist{}
+			s := nl.AddBlock(BlockPE, "a", 0, 0)
+			nl.AddNet(s, nil, 1)
+			return nl
+		}},
+		{"zero signals", func() *Netlist {
+			nl := &Netlist{}
+			s := nl.AddBlock(BlockPE, "a", 0, 0)
+			d := nl.AddBlock(BlockPE, "b", 0, 0)
+			nl.AddNet(s, []int{d}, 0)
+			return nl
+		}},
+		{"self loop", func() *Netlist {
+			nl := &Netlist{}
+			s := nl.AddBlock(BlockPE, "a", 0, 0)
+			nl.AddNet(s, []int{s}, 1)
+			return nl
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.build().Validate(); err == nil {
+				t.Error("defect not caught")
+			}
+		})
+	}
+}

@@ -1,0 +1,332 @@
+// Package pe models FPSA's processing element (paper §4.2, Figure 4): an
+// ReRAM crossbar whose rows are driven by 1-transistor charging units and
+// whose column currents feed integrate-and-fire neuron units; adjacent
+// positive/negative column pairs merge through spike subtracters. A PE
+// computes Y = ReLU(G·X) over spike trains (Eq. 6).
+//
+// The package offers three views of the same computation, from most ideal
+// to most circuit-faithful, and the test suite proves they agree:
+//
+//  1. ReferenceVMM: the integer semantics the synthesizer targets —
+//     Y_j = max(0, floor(P_j/η) − floor(N_j/η)) with P/N the positive and
+//     negative drive sums.
+//  2. Simulate: a cycle-level simulation with ideal accumulate-and-fire
+//     neurons over real spike trains.
+//  3. SimulateRC: the same, with the voltage-domain RC neuron of Eq. 1.
+package pe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpsa/internal/device"
+	"fpsa/internal/spike"
+)
+
+// Config parameterizes a PE.
+type Config struct {
+	// Params supplies crossbar geometry, window and cost constants.
+	Params device.Params
+	// Spec is the ReRAM cell used (4-bit in the paper).
+	Spec device.CellSpec
+	// Rep maps logical weight magnitudes onto parallel cells; the
+	// paper's configuration is the add method over 8 cells.
+	Rep device.Representation
+	// Eta is the neuron threshold η in conductance units. Zero means
+	// "use Rep.MaxWeight()", which normalizes weights to [−1, 1]: a
+	// full-scale weight times a full-scale input yields a full-scale
+	// output count.
+	Eta float64
+}
+
+// DefaultConfig returns the paper's evaluated PE: 256×512 crossbar, 4-bit
+// cells, add method over 8 cells per polarity, Γ=64.
+func DefaultConfig() Config {
+	spec := device.Cell4Bit
+	return Config{
+		Params: device.Params45nm,
+		Spec:   spec,
+		Rep:    device.NewAdd(spec, device.Params45nm.CellsPerWeight),
+	}
+}
+
+func (c Config) eta() float64 {
+	if c.Eta > 0 {
+		return c.Eta
+	}
+	return float64(c.Rep.MaxWeight())
+}
+
+// MaxWeight returns the largest representable logical weight magnitude.
+func (c Config) MaxWeight() int { return c.Rep.MaxWeight() }
+
+// PE is one processing element with programmed weights.
+type PE struct {
+	cfg  Config
+	rows int
+	cols int
+	// posG[j][i] / negG[j][i] are the programmed conductance sums (level
+	// units, possibly with variation) of logical column j, row i.
+	posG [][]float64
+	negG [][]float64
+	// weights keeps the logical integers for the reference path.
+	weights [][]int
+}
+
+// New returns an unprogrammed PE.
+func New(cfg Config) *PE {
+	return &PE{cfg: cfg}
+}
+
+// Rows and Cols report the programmed logical dimensions.
+func (p *PE) Rows() int { return p.rows }
+
+// Cols reports the programmed logical column count.
+func (p *PE) Cols() int { return p.cols }
+
+// Config returns the PE's configuration.
+func (p *PE) Config() Config { return p.cfg }
+
+// Program writes a logical weight matrix weights[i][j] (row-major,
+// rows × cols, integer weights in [−MaxWeight, MaxWeight]) into the
+// crossbar. Positive parts go to the positive column, negative magnitudes
+// to the negative column. A nil rng programs ideal conductances; otherwise
+// each cell receives Gaussian programming variation.
+func (p *PE) Program(weights [][]int, rng *rand.Rand) error {
+	rows := len(weights)
+	if rows == 0 {
+		return fmt.Errorf("pe: empty weight matrix")
+	}
+	cols := len(weights[0])
+	if rows > p.cfg.Params.CrossbarRows {
+		return fmt.Errorf("pe: %d rows exceed crossbar rows %d", rows, p.cfg.Params.CrossbarRows)
+	}
+	if cols > p.cfg.Params.LogicalColumns() {
+		return fmt.Errorf("pe: %d cols exceed logical columns %d", cols, p.cfg.Params.LogicalColumns())
+	}
+	maxW := p.cfg.MaxWeight()
+	p.rows, p.cols = rows, cols
+	p.posG = make([][]float64, cols)
+	p.negG = make([][]float64, cols)
+	p.weights = make([][]int, rows)
+	for i := range weights {
+		if len(weights[i]) != cols {
+			return fmt.Errorf("pe: ragged weight matrix at row %d", i)
+		}
+		p.weights[i] = append([]int(nil), weights[i]...)
+	}
+	for j := 0; j < cols; j++ {
+		p.posG[j] = make([]float64, rows)
+		p.negG[j] = make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			w := weights[i][j]
+			if w > maxW || w < -maxW {
+				return fmt.Errorf("pe: weight %d at (%d,%d) exceeds |%d|", w, i, j, maxW)
+			}
+			pos, neg := 0, 0
+			if w >= 0 {
+				pos = w
+			} else {
+				neg = -w
+			}
+			p.posG[j][i] = device.ProgramWeight(p.cfg.Rep, p.cfg.Spec, pos, rng)
+			p.negG[j][i] = device.ProgramWeight(p.cfg.Rep, p.cfg.Spec, neg, rng)
+		}
+	}
+	return nil
+}
+
+// ProgramFloat quantizes weights in [−1, 1] to the representable integer
+// grid (round to nearest of w·MaxWeight) and programs them.
+func (p *PE) ProgramFloat(weights [][]float64, rng *rand.Rand) error {
+	maxW := float64(p.cfg.MaxWeight())
+	q := make([][]int, len(weights))
+	for i, row := range weights {
+		q[i] = make([]int, len(row))
+		for j, w := range row {
+			v := math.Round(w * maxW)
+			if v > maxW {
+				v = maxW
+			}
+			if v < -maxW {
+				v = -maxW
+			}
+			q[i][j] = int(v)
+		}
+	}
+	return p.Program(q, rng)
+}
+
+// SetEta overrides the neuron threshold η. The synthesizer calls this with
+// a per-matrix scale that prevents neuron saturation (see SafeEta).
+func (p *PE) SetEta(eta float64) { p.cfg.Eta = eta }
+
+// SafeEta returns the smallest η for which no neuron can saturate the
+// one-spike-per-cycle cap: η = max_j max(Σ_i pos_ji, Σ_i neg_ji)·maxCount/Γ.
+// With maxCount = Γ this also bounds the instantaneous per-cycle drive by
+// η, making the neuron's spike count exactly floor(total drive/η). A zero
+// result (all-zero matrix) means "keep the default".
+//
+// This is the hardware constraint behind the synthesizer's weight scaling:
+// Eq. 5 only holds while firing stays below one spike per cycle.
+func (p *PE) SafeEta(maxCount int) float64 {
+	window := p.cfg.Params.SamplingWindow()
+	var worst float64
+	for j := 0; j < p.cols; j++ {
+		var pos, neg float64
+		for i := 0; i < p.rows; i++ {
+			w := float64(p.weights[i][j])
+			if w >= 0 {
+				pos += w
+			} else {
+				neg += -w
+			}
+		}
+		if pos > worst {
+			worst = pos
+		}
+		if neg > worst {
+			worst = neg
+		}
+	}
+	return worst * float64(maxCount) / float64(window)
+}
+
+// ReferenceVMM computes the integer reference output for spike counts
+// x[i] ∈ [0, Γ]: Y_j = max(0, floor(P_j/η) − floor(N_j/η)), clamped to the
+// sampling window. It uses the ideal (noise-free) logical weights and
+// assumes η is saturation-safe (see SafeEta); the cycle-level simulation
+// reproduces it exactly up to the ±1 subtracter stream artefact.
+func (p *PE) ReferenceVMM(x []int) ([]int, error) {
+	if len(x) != p.rows {
+		return nil, fmt.Errorf("pe: input length %d, want %d", len(x), p.rows)
+	}
+	window := p.cfg.Params.SamplingWindow()
+	eta := p.cfg.eta()
+	out := make([]int, p.cols)
+	for j := 0; j < p.cols; j++ {
+		var pos, neg int
+		for i := 0; i < p.rows; i++ {
+			w := p.weights[i][j]
+			if w >= 0 {
+				pos += w * x[i]
+			} else {
+				neg += -w * x[i]
+			}
+		}
+		y := int(float64(pos)/eta) - int(float64(neg)/eta)
+		if y < 0 {
+			y = 0
+		}
+		out[j] = spike.Clamp(y, window)
+	}
+	return out, nil
+}
+
+// FloatVMM computes ReLU(W·x/η) in real arithmetic on the ideal weights —
+// the mathematical function the PE approximates.
+func (p *PE) FloatVMM(x []int) ([]float64, error) {
+	if len(x) != p.rows {
+		return nil, fmt.Errorf("pe: input length %d, want %d", len(x), p.rows)
+	}
+	eta := p.cfg.eta()
+	out := make([]float64, p.cols)
+	for j := 0; j < p.cols; j++ {
+		var acc float64
+		for i := 0; i < p.rows; i++ {
+			acc += float64(p.weights[i][j]) * float64(x[i])
+		}
+		v := acc / eta
+		if v < 0 {
+			v = 0
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+// Simulate runs the cycle-level PE over one sampling window of input spike
+// trains using ideal accumulate-and-fire neurons and the programmed
+// (possibly noisy) conductances. It returns the output spike trains of the
+// subtracters.
+func (p *PE) Simulate(inputs []spike.Train) ([]spike.Train, error) {
+	return p.simulate(inputs, func(eta float64) stepper { return &spike.Neuron{Eta: eta} })
+}
+
+// SimulateRC runs the same simulation with circuit-faithful RC voltage
+// neurons (Eq. 1).
+func (p *PE) SimulateRC(inputs []spike.Train) ([]spike.Train, error) {
+	return p.simulate(inputs, func(eta float64) stepper { return spike.DefaultRCNeuron(eta) })
+}
+
+// stepper is the common surface of the two neuron models.
+type stepper interface {
+	Step(drive float64) bool
+	Reset()
+}
+
+func (p *PE) simulate(inputs []spike.Train, newNeuron func(eta float64) stepper) ([]spike.Train, error) {
+	if len(inputs) != p.rows {
+		return nil, fmt.Errorf("pe: %d input trains, want %d", len(inputs), p.rows)
+	}
+	window := p.cfg.Params.SamplingWindow()
+	for i, tr := range inputs {
+		if tr.Window() != window {
+			return nil, fmt.Errorf("pe: input %d window %d, want %d", i, tr.Window(), window)
+		}
+	}
+	eta := p.cfg.eta()
+	posN := make([]stepper, p.cols)
+	negN := make([]stepper, p.cols)
+	subs := make([]spike.Subtracter, p.cols)
+	outs := make([]spike.Train, p.cols)
+	for j := range outs {
+		posN[j] = newNeuron(eta)
+		negN[j] = newNeuron(eta)
+		outs[j] = spike.NewTrain(window)
+	}
+	active := make([]int, 0, p.rows)
+	for t := 0; t < window; t++ {
+		active = active[:0]
+		for i := range inputs {
+			if inputs[i][t] {
+				active = append(active, i)
+			}
+		}
+		for j := 0; j < p.cols; j++ {
+			var drvPos, drvNeg float64
+			pg, ng := p.posG[j], p.negG[j]
+			for _, i := range active {
+				drvPos += pg[i]
+				drvNeg += ng[i]
+			}
+			sp := posN[j].Step(drvPos)
+			sn := negN[j].Step(drvNeg)
+			outs[j][t] = subs[j].Step(sp, sn)
+		}
+	}
+	return outs, nil
+}
+
+// EnergyPerVMMpJ estimates the energy of one full-window VMM: the published
+// per-PE aggregate scaled by the fraction of active rows/columns (idle
+// charging units and neurons are clock-gated). With full occupancy it
+// equals Table 1's PE total.
+func (p *PE) EnergyPerVMMpJ() float64 {
+	pr := p.cfg.Params
+	rowFrac := float64(p.rows) / float64(pr.CrossbarRows)
+	colFrac := float64(p.cols) / float64(pr.LogicalColumns())
+	return pr.ChargingUnitsTotal.EnergyPJ*rowFrac +
+		pr.ReRAMArraysTotal.EnergyPJ*rowFrac*colFrac +
+		pr.NeuronUnitsTotal.EnergyPJ*colFrac +
+		pr.SubtractersTotal.EnergyPJ*colFrac
+}
+
+// Utilization returns the fraction of logical crossbar cells the programmed
+// matrix occupies — the per-PE term of the paper's spatial utilization
+// bound (§6.3).
+func (p *PE) Utilization() float64 {
+	total := p.cfg.Params.WeightsPerPE()
+	return float64(p.rows*p.cols) / float64(total)
+}

@@ -1,0 +1,329 @@
+package pe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/spike"
+)
+
+// smallConfig returns a config with a reduced window for fast cycle sims.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Spec.Sigma = 0 // ideal devices unless a test overrides
+	cfg.Rep = device.NewAdd(cfg.Spec, cfg.Params.CellsPerWeight)
+	return cfg
+}
+
+func randomWeights(rng *rand.Rand, rows, cols, maxW int) [][]int {
+	w := make([][]int, rows)
+	for i := range w {
+		w[i] = make([]int, cols)
+		for j := range w[i] {
+			w[i][j] = rng.Intn(2*maxW+1) - maxW
+		}
+	}
+	return w
+}
+
+func randomInputs(rng *rand.Rand, rows, window int) ([]int, []spike.Train) {
+	counts := make([]int, rows)
+	trains := make([]spike.Train, rows)
+	for i := range counts {
+		counts[i] = rng.Intn(window + 1)
+		trains[i] = spike.UniformTrain(counts[i], window)
+	}
+	return counts, trains
+}
+
+func TestProgramRejectsBadShapes(t *testing.T) {
+	p := New(smallConfig())
+	if err := p.Program(nil, nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	big := make([][]int, 257)
+	for i := range big {
+		big[i] = make([]int, 1)
+	}
+	if err := p.Program(big, nil); err == nil {
+		t.Error("257-row matrix accepted")
+	}
+	wide := [][]int{make([]int, 257)}
+	if err := p.Program(wide, nil); err == nil {
+		t.Error("257-col matrix accepted")
+	}
+	ragged := [][]int{{1, 2}, {3}}
+	if err := p.Program(ragged, nil); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	tooBig := [][]int{{1000}}
+	if err := p.Program(tooBig, nil); err == nil {
+		t.Error("overweight value accepted")
+	}
+}
+
+func TestReferenceVMMIdentity(t *testing.T) {
+	// A diagonal of full-scale weights with η = MaxWeight passes counts
+	// through: Y = X (then ReLU is a no-op for non-negative counts).
+	cfg := smallConfig()
+	p := New(cfg)
+	n := 8
+	w := make([][]int, n)
+	for i := range w {
+		w[i] = make([]int, n)
+		w[i][i] = cfg.MaxWeight()
+	}
+	if err := p.Program(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	x := []int{0, 1, 5, 10, 20, 40, 63, 64}
+	got, err := p.ReferenceVMM(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Errorf("identity: out[%d] = %d, want %d", i, got[i], x[i])
+		}
+	}
+}
+
+func TestReferenceVMMReLU(t *testing.T) {
+	cfg := smallConfig()
+	p := New(cfg)
+	w := [][]int{{-cfg.MaxWeight()}}
+	if err := p.Program(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReferenceVMM([]int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Errorf("negative product: out = %d, want 0 (ReLU)", got[0])
+	}
+}
+
+func TestSimulateMatchesReferenceIdealDevices(t *testing.T) {
+	// Core fidelity property (Eq. 1-6): the cycle-level spiking PE with
+	// ideal devices computes the integer reference VMM+ReLU. The
+	// subtracter stream can deviate by at most 1 count when negative
+	// spikes trail the last positive spike.
+	rng := rand.New(rand.NewSource(51))
+	cfg := smallConfig()
+	window := cfg.Params.SamplingWindow()
+	for trial := 0; trial < 10; trial++ {
+		rows, cols := 1+rng.Intn(24), 1+rng.Intn(12)
+		p := New(cfg)
+		if err := p.Program(randomWeights(rng, rows, cols, cfg.MaxWeight()), nil); err != nil {
+			t.Fatal(err)
+		}
+		if eta := p.SafeEta(window); eta > 0 {
+			p.SetEta(eta)
+		}
+		counts, trains := randomInputs(rng, rows, window)
+		ref, err := p.ReferenceVMM(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := p.Simulate(trains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range outs {
+			got := outs[j].Count()
+			if d := got - ref[j]; d < -1 || d > 1 {
+				t.Errorf("trial %d col %d: sim %d vs reference %d (|Δ|>1)", trial, j, got, ref[j])
+			}
+		}
+	}
+}
+
+func TestSimulateTracksFloatVMM(t *testing.T) {
+	// The spike count approximates the real-valued ReLU(Wx/η) within the
+	// quantization error of the floor operations (≤ 2 counts).
+	rng := rand.New(rand.NewSource(61))
+	cfg := smallConfig()
+	window := cfg.Params.SamplingWindow()
+	p := New(cfg)
+	if err := p.Program(randomWeights(rng, 16, 8, cfg.MaxWeight()/4), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.SetEta(p.SafeEta(window))
+	counts, trains := randomInputs(rng, 16, window)
+	want, err := p.FloatVMM(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := p.Simulate(trains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range outs {
+		got := float64(outs[j].Count())
+		wf := want[j]
+		if wf > float64(window) {
+			wf = float64(window)
+		}
+		if math.Abs(got-wf) > 2 {
+			t.Errorf("col %d: sim %v vs float %v", j, got, wf)
+		}
+	}
+}
+
+func TestSimulateRCUndercountsBoundedly(t *testing.T) {
+	// The RC voltage neuron loses sub-cycle overshoot at each discharge,
+	// so it can only undercount relative to the ideal neuron, and only
+	// by a small margin for realistic drives.
+	rng := rand.New(rand.NewSource(71))
+	cfg := smallConfig()
+	window := cfg.Params.SamplingWindow()
+	p := New(cfg)
+	if err := p.Program(randomWeights(rng, 16, 8, cfg.MaxWeight()/4), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.SetEta(p.SafeEta(window))
+	_, trains := randomInputs(rng, 16, window)
+	ideal, err := p.Simulate(trains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := p.SimulateRC(trains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ideal {
+		di, dr := ideal[j].Count(), rc[j].Count()
+		if dr > di+1 {
+			t.Errorf("col %d: RC %d overcounts ideal %d", j, dr, di)
+		}
+		if di-dr > di/4+2 {
+			t.Errorf("col %d: RC %d undercounts ideal %d beyond bound", j, dr, di)
+		}
+	}
+}
+
+func TestSimulateWithVariationStaysClose(t *testing.T) {
+	// With the paper's add method and realistic sigma, outputs stay
+	// within a few counts of the ideal reference (the Figure 9 add-curve
+	// mechanism).
+	rng := rand.New(rand.NewSource(81))
+	cfg := DefaultConfig() // Sigma = Cell4Bit.Sigma
+	window := cfg.Params.SamplingWindow()
+	p := New(cfg)
+	if err := p.Program(randomWeights(rng, 32, 8, cfg.MaxWeight()/4), rng); err != nil {
+		t.Fatal(err)
+	}
+	p.SetEta(p.SafeEta(window))
+	counts, trains := randomInputs(rng, 32, window)
+	ref, err := p.ReferenceVMM(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := p.Simulate(trains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range outs {
+		if d := math.Abs(float64(outs[j].Count() - ref[j])); d > 6 {
+			t.Errorf("col %d: noisy sim %d vs ideal ref %d (Δ=%v)", j, outs[j].Count(), ref[j], d)
+		}
+	}
+}
+
+func TestSimulateInputValidation(t *testing.T) {
+	cfg := smallConfig()
+	p := New(cfg)
+	if err := p.Program([][]int{{1, 2}, {3, 4}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Simulate([]spike.Train{spike.NewTrain(64)}); err == nil {
+		t.Error("wrong train count accepted")
+	}
+	if _, err := p.Simulate([]spike.Train{spike.NewTrain(32), spike.NewTrain(32)}); err == nil {
+		t.Error("wrong window accepted")
+	}
+	if _, err := p.ReferenceVMM([]int{1}); err == nil {
+		t.Error("wrong input length accepted")
+	}
+}
+
+func TestUtilizationAndEnergyScale(t *testing.T) {
+	cfg := smallConfig()
+	p := New(cfg)
+	full := make([][]int, cfg.Params.CrossbarRows)
+	for i := range full {
+		full[i] = make([]int, cfg.Params.LogicalColumns())
+	}
+	if err := p.Program(full, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Utilization(); got != 1 {
+		t.Errorf("full crossbar utilization = %v, want 1", got)
+	}
+	if got, want := p.EnergyPerVMMpJ(), cfg.Params.PEEnergyPJ(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("full crossbar energy = %v, want %v", got, want)
+	}
+
+	p2 := New(cfg)
+	if err := p2.Program([][]int{{1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Utilization(); math.Abs(got-1.0/65536) > 1e-12 {
+		t.Errorf("1×1 utilization = %v", got)
+	}
+	if p2.EnergyPerVMMpJ() >= p.EnergyPerVMMpJ() {
+		t.Error("sparse PE not cheaper than full PE")
+	}
+}
+
+func TestProgramFloatQuantization(t *testing.T) {
+	cfg := smallConfig()
+	p := New(cfg)
+	w := [][]float64{{1.0, -1.0, 0.5, 2.0, -2.0, 0.0}}
+	if err := p.ProgramFloat(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	maxW := cfg.MaxWeight()
+	wantRow := []int{maxW, -maxW, maxW / 2, maxW, -maxW, 0}
+	for j, want := range wantRow {
+		if got := p.weights[0][j]; got != want {
+			t.Errorf("quantized[0][%d] = %d, want %d", j, got, want)
+		}
+	}
+}
+
+func BenchmarkSimulateFullPE(b *testing.B) {
+	rng := rand.New(rand.NewSource(91))
+	cfg := smallConfig()
+	p := New(cfg)
+	rows, cols := 256, 64
+	if err := p.Program(randomWeights(rng, rows, cols, cfg.MaxWeight()), nil); err != nil {
+		b.Fatal(err)
+	}
+	_, trains := randomInputs(rng, rows, cfg.Params.SamplingWindow())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Simulate(trains); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceVMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(92))
+	cfg := smallConfig()
+	p := New(cfg)
+	if err := p.Program(randomWeights(rng, 256, 256, cfg.MaxWeight()), nil); err != nil {
+		b.Fatal(err)
+	}
+	counts, _ := randomInputs(rng, 256, cfg.Params.SamplingWindow())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ReferenceVMM(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package pe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over the PE's reference semantics: invariants that must
+// hold for any programmed matrix and input, independent of the cycle-level
+// machinery.
+
+func TestQuickReferenceMonotoneInInputs(t *testing.T) {
+	// With non-negative weights, increasing any input count can never
+	// decrease any output (the crossbar computes a monotone map).
+	rng := rand.New(rand.NewSource(111))
+	cfg := smallConfig()
+	p := New(cfg)
+	w := make([][]int, 12)
+	for i := range w {
+		w[i] = make([]int, 6)
+		for j := range w[i] {
+			w[i][j] = rng.Intn(cfg.MaxWeight() + 1) // non-negative
+		}
+	}
+	if err := p.Program(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.SetEta(p.SafeEta(cfg.Params.SamplingWindow()))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := make([]int, 12)
+		for i := range x {
+			x[i] = r.Intn(60)
+		}
+		base, err := p.ReferenceVMM(x)
+		if err != nil {
+			return false
+		}
+		i := r.Intn(12)
+		x[i]++
+		bumped, err := p.ReferenceVMM(x)
+		if err != nil {
+			return false
+		}
+		for j := range base {
+			if bumped[j] < base[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReferenceZeroInputZeroOutput(t *testing.T) {
+	// Zero input must produce zero output for any weights.
+	rng := rand.New(rand.NewSource(112))
+	cfg := smallConfig()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(16), 1+r.Intn(8)
+		p := New(cfg)
+		if err := p.Program(randomWeights(rng, rows, cols, cfg.MaxWeight()), nil); err != nil {
+			return false
+		}
+		out, err := p.ReferenceVMM(make([]int, rows))
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNegatedWeightsGiveZero(t *testing.T) {
+	// All-negative weights through ReLU must always yield zero.
+	cfg := smallConfig()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(12)
+		w := make([][]int, rows)
+		for i := range w {
+			w[i] = []int{-(1 + r.Intn(cfg.MaxWeight()))}
+		}
+		p := New(cfg)
+		if err := p.Program(w, nil); err != nil {
+			return false
+		}
+		x := make([]int, rows)
+		for i := range x {
+			x[i] = r.Intn(64)
+		}
+		out, err := p.ReferenceVMM(x)
+		return err == nil && out[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

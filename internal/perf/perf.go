@@ -1,0 +1,276 @@
+// Package perf is the performance model behind the paper's evaluation: it
+// combines the synthesized core-op graph, the mapper's allocation, the
+// fabric's block costs and the routed (or estimated) communication delays
+// into throughput, latency, area, and the three analytic bounds of §3 —
+// peak performance, utilization bounds (spatial and temporal), and the
+// communication bound.
+//
+// Timing model (per §4.2, §7.1):
+//
+//   - FPSA streams spike trains; a pipeline stage's effective cycle is
+//     max(PE clock, hop delay of its routed path), so one VMM takes
+//     Γ·max(2.443 ns, hops·1.651 ns) — the Figure 7 comp/comm bars.
+//   - FP-PRIME computes a full VMM then ships 6-bit counts over the FPSA
+//     fabric: T = VMM + 6·hops·hopDelay.
+//   - PRIME computes then contends for the shared memory bus:
+//     T = VMM + bits·active/bandwidth.
+//
+// Stage time is iterations × T; throughput is one sample per bottleneck
+// stage; latency accumulates along the group graph's critical path.
+package perf
+
+import (
+	"fmt"
+
+	"fpsa/internal/cgraph"
+	"fpsa/internal/coreop"
+	"fpsa/internal/device"
+	"fpsa/internal/mapper"
+	"fpsa/internal/netlist"
+	"fpsa/internal/prime"
+)
+
+// Target selects the architecture being modeled.
+type Target int
+
+// Evaluation targets.
+const (
+	TargetFPSA Target = iota
+	TargetFPPRIME
+	TargetPRIME
+)
+
+// String renders the target.
+func (t Target) String() string {
+	switch t {
+	case TargetFPSA:
+		return "FPSA"
+	case TargetFPPRIME:
+		return "FP-PRIME"
+	case TargetPRIME:
+		return "PRIME"
+	default:
+		return fmt.Sprintf("target(%d)", int(t))
+	}
+}
+
+// Input bundles everything one evaluation needs.
+type Input struct {
+	// Model supplies per-sample op counts (Table 3 accounting).
+	Model *cgraph.Graph
+	// CoreOps is the synthesized group graph.
+	CoreOps *coreop.Graph
+	// Params are the 45 nm constants.
+	Params device.Params
+	// Dup is the model duplication degree (§5.2).
+	Dup int
+	// Hops is the mean routed hop count for FPSA-fabric targets; 0 uses
+	// Params.TypicalRouteHops (annealed pipeline placements keep
+	// connected blocks adjacent, so the value is size-independent — the
+	// router tests confirm it on real netlists).
+	Hops int
+	// Bus is PRIME's memory bus (zero value uses prime.DefaultBus).
+	Bus prime.Bus
+}
+
+// Report is one evaluation result.
+type Report struct {
+	Name   string
+	Target Target
+	Dup    int
+
+	PEs, SMBs, CLBs int
+	// Replicas is the whole-model sample-parallel replication applied
+	// when duplication saturates every group's reuse degree (MLPs).
+	Replicas int
+
+	AreaMM2       float64
+	ThroughputSPS float64 // samples per second
+	LatencyUS     float64 // single-sample pipeline latency
+	PerfOPS       float64 // model ops × throughput
+	DensityOPSmm2 float64
+
+	// Analytic bounds (§3), in OPS.
+	PeakOPS          float64
+	SpatialBoundOPS  float64
+	TemporalBoundOPS float64
+
+	// Figure 7 bars: per-VMM computation and communication latency.
+	CompNSPerVMM float64
+	CommNSPerVMM float64
+
+	// Energy model (FPSA-fabric targets only; zero for PRIME, whose
+	// per-access energies the paper does not publish).
+	Energy  EnergyBreakdown
+	PowerMW float64
+}
+
+// Evaluate runs the model for one target.
+func Evaluate(in Input, target Target) (Report, error) {
+	if in.Dup < 1 {
+		return Report{}, fmt.Errorf("perf: duplication degree %d", in.Dup)
+	}
+	p := in.Params
+	alloc, err := mapper.Allocate(in.CoreOps, in.Dup)
+	if err != nil {
+		return Report{}, err
+	}
+	hops := in.Hops
+	if hops <= 0 {
+		hops = p.TypicalRouteHops
+	}
+	bus := in.Bus
+	if bus.BandwidthBitsPerNS <= 0 {
+		bus = prime.DefaultBus
+	}
+
+	gamma := float64(p.SamplingWindow())
+	var compNS, commNS, stageNS float64 // per-VMM latencies
+	switch target {
+	case TargetFPSA:
+		compNS = gamma * p.PipelineClockNS()
+		commNS = gamma * float64(hops) * p.WireDelayPerHopNS
+		stageNS = compNS
+		if commNS > stageNS {
+			stageNS = commNS
+		}
+	case TargetFPPRIME:
+		compNS = prime.PE.VMMLatencyNS
+		commNS = float64(p.IOBits*hops) * p.WireDelayPerHopNS
+		stageNS = compNS + commNS
+	case TargetPRIME:
+		compNS = prime.PE.VMMLatencyNS
+		commNS = bus.CommLatencyNS(activePEs(in.CoreOps, alloc))
+		stageNS = compNS + commNS
+	default:
+		return Report{}, fmt.Errorf("perf: unknown target %v", target)
+	}
+
+	// Whole-model replication when duplication exhausts reuse (§5.2's
+	// allocation cannot exceed a group's reuse degree; the remaining
+	// budget replicates the pipeline for sample parallelism).
+	replicas := 1
+	if maxReuse := in.CoreOps.MaxReuse(); in.Dup > maxReuse {
+		replicas = in.Dup / maxReuse
+	}
+
+	rep := Report{
+		Name:         in.CoreOps.Name,
+		Target:       target,
+		Dup:          in.Dup,
+		Replicas:     replicas,
+		CompNSPerVMM: compNS,
+		CommNSPerVMM: commNS,
+	}
+
+	// Block inventory and area.
+	switch target {
+	case TargetFPSA, TargetFPPRIME:
+		nl, err := mapper.BuildNetlist(in.CoreOps, alloc, p, nil)
+		if err != nil {
+			return Report{}, err
+		}
+		pes, smbs, clbs := nl.Counts()
+		rep.PEs, rep.SMBs, rep.CLBs = pes*replicas, smbs*replicas, clbs*replicas
+		peArea := p.PETotal.AreaUM2
+		if target == TargetFPPRIME {
+			peArea = prime.PE.AreaUM2
+		}
+		rep.AreaMM2 = (float64(rep.PEs)*peArea +
+			float64(rep.SMBs)*p.SMB.AreaUM2 +
+			float64(rep.CLBs)*p.CLB.AreaUM2) * 1e-6
+		if target == TargetFPSA {
+			rep.Energy = energyPerSample(in.CoreOps, alloc, clbs, p)
+		}
+	case TargetPRIME:
+		rep.PEs = alloc.TotalPEs * replicas
+		rep.AreaMM2 = float64(rep.PEs) * prime.PE.AreaUM2 * 1e-6
+	}
+
+	// Throughput and latency. A sample's latency is the pipeline fill
+	// along the critical path plus the bottleneck stage's full
+	// iteration drain. Fill cost per stage depends on the connection:
+	// bufferless NBD chaining (both sides non-time-multiplexed, FPSA's
+	// spike-train streaming, §7.1) starts the consumer one effective
+	// cycle after its producer; buffered stages wait a full stage time.
+	// FP-PRIME and PRIME transmit counts after the whole VMM, so every
+	// stage fills fully.
+	maxIter := float64(alloc.MaxIterations())
+	bottleneckNS := maxIter * stageNS
+	rep.ThroughputSPS = float64(replicas) / (bottleneckNS * 1e-9)
+	fillCycleNS := stageNS
+	if target == TargetFPSA {
+		fillCycleNS = stageNS / gamma // one effective pipeline cycle
+	}
+	rep.LatencyUS = (criticalFillNS(in.CoreOps, alloc, stageNS, fillCycleNS) + bottleneckNS) * 1e-3
+	rep.PerfOPS = float64(in.Model.TotalOps()) * rep.ThroughputSPS
+	if rep.AreaMM2 > 0 {
+		rep.DensityOPSmm2 = rep.PerfOPS / rep.AreaMM2
+	}
+	rep.PowerMW = rep.Energy.TotalUJ() * rep.ThroughputSPS * 1e-3
+
+	// Bounds. Peak and the utilization bounds assume ideal communication
+	// (stage = comp only).
+	opsPerVMM := float64(p.OpsPerVMM())
+	rep.PeakOPS = float64(rep.PEs) * opsPerVMM / (compNS * 1e-9)
+	var usefulPerVMMSum float64 // Σ over PE copies of useful ops per VMM
+	for gi, grp := range in.CoreOps.Groups {
+		usefulPerVMMSum += float64(alloc.Dup[gi]) * 2 * float64(grp.UsefulWeights)
+	}
+	rep.SpatialBoundOPS = float64(replicas) * usefulPerVMMSum / (compNS * 1e-9)
+	rep.TemporalBoundOPS = float64(in.Model.TotalOps()) * float64(replicas) / (maxIter * compNS * 1e-9)
+	return rep, nil
+}
+
+// activePEs returns the duty-cycle-weighted number of PEs communicating
+// concurrently: a group's copies are busy iterations/maxIterations of the
+// pipeline period.
+func activePEs(g *coreop.Graph, a mapper.Allocation) float64 {
+	maxIter := float64(a.MaxIterations())
+	var active float64
+	for gi := range g.Groups {
+		active += float64(a.Dup[gi]) * float64(a.Iterations[gi]) / maxIter
+	}
+	return active
+}
+
+// criticalFillNS returns the longest dependency chain's pipeline-fill
+// time: an NBD-chained stage (it and all its producers execute once per
+// sample) adds one effective cycle, a buffered stage adds a full stage
+// time.
+func criticalFillNS(g *coreop.Graph, a mapper.Allocation, stageNS, fillCycleNS float64) float64 {
+	longest := make([]float64, len(g.Groups))
+	best := 0.0
+	for gi, grp := range g.Groups {
+		pred := 0.0
+		nbd := a.Iterations[gi] == 1
+		for _, d := range grp.Deps {
+			if longest[d] > pred {
+				pred = longest[d]
+			}
+			if a.Iterations[d] > 1 {
+				nbd = false
+			}
+		}
+		fill := stageNS
+		if nbd {
+			fill = fillCycleNS
+		}
+		longest[gi] = pred + fill
+		if longest[gi] > best {
+			best = longest[gi]
+		}
+	}
+	return best
+}
+
+// NetlistFor exposes the netlist the report's inventory came from, for
+// callers that also place & route it.
+func NetlistFor(in Input) (*netlist.Netlist, mapper.Allocation, error) {
+	alloc, err := mapper.Allocate(in.CoreOps, in.Dup)
+	if err != nil {
+		return nil, mapper.Allocation{}, err
+	}
+	nl, err := mapper.BuildNetlist(in.CoreOps, alloc, in.Params, nil)
+	return nl, alloc, err
+}

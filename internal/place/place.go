@@ -1,0 +1,294 @@
+// Package place implements VPR-style simulated-annealing placement of a
+// function-block netlist onto the FPSA fabric (paper §5.3): the cost is
+// signal-weighted half-perimeter wirelength, moves swap blocks or relocate
+// them to free sites, and the temperature schedule adapts to the observed
+// acceptance rate.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+)
+
+// Placement maps block IDs to fabric sites.
+type Placement struct {
+	Chip fabric.Chip
+	Pos  []fabric.Site // block ID → site
+	occ  []int         // site index → block ID or −1
+}
+
+// Random places blocks onto distinct random sites.
+func Random(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand) (*Placement, error) {
+	n := len(nl.Blocks)
+	if n > chip.Sites() {
+		return nil, fmt.Errorf("place: %d blocks exceed %d sites", n, chip.Sites())
+	}
+	perm := rng.Perm(chip.Sites())
+	p := &Placement{
+		Chip: chip,
+		Pos:  make([]fabric.Site, n),
+		occ:  make([]int, chip.Sites()),
+	}
+	for i := range p.occ {
+		p.occ[i] = -1
+	}
+	for b := 0; b < n; b++ {
+		p.Pos[b] = chip.SiteAt(perm[b])
+		p.occ[perm[b]] = b
+	}
+	return p, nil
+}
+
+// Fixed builds a placement from explicit per-block sites (deterministic
+// floorplans, tests, imported placements).
+func Fixed(nl *netlist.Netlist, chip fabric.Chip, sites []fabric.Site) (*Placement, error) {
+	if len(sites) != len(nl.Blocks) {
+		return nil, fmt.Errorf("place: %d sites for %d blocks", len(sites), len(nl.Blocks))
+	}
+	p := &Placement{
+		Chip: chip,
+		Pos:  append([]fabric.Site(nil), sites...),
+		occ:  make([]int, chip.Sites()),
+	}
+	for i := range p.occ {
+		p.occ[i] = -1
+	}
+	for b, s := range sites {
+		if !chip.Valid(s) {
+			return nil, fmt.Errorf("place: block %d site %v off chip", b, s)
+		}
+		idx := chip.Index(s)
+		if p.occ[idx] >= 0 {
+			return nil, fmt.Errorf("place: blocks %d and %d share site %v", p.occ[idx], b, s)
+		}
+		p.occ[idx] = b
+	}
+	return p, nil
+}
+
+// Validate checks the one-block-per-site invariant.
+func (p *Placement) Validate() error {
+	seen := make(map[int]int)
+	for b, s := range p.Pos {
+		if !p.Chip.Valid(s) {
+			return fmt.Errorf("place: block %d at invalid site %v", b, s)
+		}
+		idx := p.Chip.Index(s)
+		if prev, ok := seen[idx]; ok {
+			return fmt.Errorf("place: blocks %d and %d share site %v", prev, b, s)
+		}
+		seen[idx] = b
+		if p.occ[idx] != b {
+			return fmt.Errorf("place: occupancy table disagrees at site %v", s)
+		}
+	}
+	return nil
+}
+
+// netHPWL returns the half-perimeter wirelength of one net.
+func netHPWL(p *Placement, net *netlist.Net) int {
+	s := p.Pos[net.Src]
+	minX, maxX, minY, maxY := s.X, s.X, s.Y, s.Y
+	for _, b := range net.Sinks {
+		q := p.Pos[b]
+		if q.X < minX {
+			minX = q.X
+		}
+		if q.X > maxX {
+			maxX = q.X
+		}
+		if q.Y < minY {
+			minY = q.Y
+		}
+		if q.Y > maxY {
+			maxY = q.Y
+		}
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// Cost returns the signal-weighted total HPWL.
+func Cost(p *Placement, nl *netlist.Netlist) float64 {
+	var total float64
+	for i := range nl.Nets {
+		total += float64(netHPWL(p, &nl.Nets[i])) * float64(nl.Nets[i].Signals)
+	}
+	return total
+}
+
+// Options tunes the annealer.
+type Options struct {
+	// MovesPerTemp is the number of proposed moves at each temperature;
+	// 0 selects the VPR default 10·n^{4/3}.
+	MovesPerTemp int
+	// InitialTempFactor scales the starting temperature relative to the
+	// cost standard deviation of random moves (default 20).
+	InitialTempFactor float64
+}
+
+// Stats reports what the annealer did.
+type Stats struct {
+	InitialCost float64
+	FinalCost   float64
+	Temps       int
+	Moves       int
+	Accepted    int
+}
+
+// Anneal improves a random placement with simulated annealing and returns
+// it with run statistics.
+func Anneal(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options) (*Placement, Stats, error) {
+	p, err := Random(nl, chip, rng)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// Index nets by block for incremental cost evaluation.
+	netsOf := make([][]int, len(nl.Blocks))
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		blocks := append([]int{net.Src}, net.Sinks...)
+		seen := make(map[int]bool)
+		for _, b := range blocks {
+			if !seen[b] {
+				seen[b] = true
+				netsOf[b] = append(netsOf[b], i)
+			}
+		}
+	}
+	cost := Cost(p, nl)
+	stats := Stats{InitialCost: cost}
+	if len(nl.Nets) == 0 || len(nl.Blocks) < 2 {
+		stats.FinalCost = cost
+		return p, stats, nil
+	}
+
+	moves := opts.MovesPerTemp
+	if moves <= 0 {
+		moves = int(10 * math.Pow(float64(len(nl.Blocks)), 4.0/3.0))
+		if moves > 20000 {
+			moves = 20000
+		}
+	}
+	tempFactor := opts.InitialTempFactor
+	if tempFactor <= 0 {
+		tempFactor = 20
+	}
+
+	// Starting temperature: the cost deviation of a sample of random
+	// moves (VPR's recipe).
+	var sumSq, sum float64
+	const probes = 64
+	for i := 0; i < probes; i++ {
+		d := p.probeMove(nl, netsOf, rng)
+		sum += d
+		sumSq += d * d
+	}
+	std := math.Sqrt(math.Max(0, sumSq/probes-(sum/probes)*(sum/probes)))
+	temp := tempFactor * (std + 1)
+	minTemp := 0.001 * (cost/float64(len(nl.Nets)) + 1)
+
+	for temp > minTemp {
+		accepted := 0
+		for m := 0; m < moves; m++ {
+			delta, commit := p.proposeMove(nl, netsOf, rng)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				commit()
+				cost += delta
+				accepted++
+				stats.Accepted++
+			}
+			stats.Moves++
+		}
+		// VPR-style adaptive cooling: cool faster when acceptance is
+		// extreme, slower in the productive 15-95% band.
+		rate := float64(accepted) / float64(moves)
+		switch {
+		case rate > 0.96:
+			temp *= 0.5
+		case rate > 0.8:
+			temp *= 0.9
+		case rate > 0.15:
+			temp *= 0.95
+		default:
+			temp *= 0.8
+		}
+		stats.Temps++
+		if stats.Temps > 300 {
+			break
+		}
+	}
+	stats.FinalCost = Cost(p, nl) // recompute exactly (incremental drift)
+	return p, stats, nil
+}
+
+// proposeMove picks a random block and a random target site (occupied →
+// swap, free → relocate), returning the cost delta and a commit closure.
+func (p *Placement) proposeMove(nl *netlist.Netlist, netsOf [][]int, rng *rand.Rand) (float64, func()) {
+	b := rng.Intn(len(p.Pos))
+	target := rng.Intn(p.Chip.Sites())
+	other := p.occ[target]
+	from := p.Pos[b]
+	fromIdx := p.Chip.Index(from)
+	if other == b {
+		return 0, func() {}
+	}
+	affected := netsOf[b]
+	if other >= 0 {
+		affected = union(netsOf[b], netsOf[other])
+	}
+	before := p.partialCost(nl, affected)
+	p.apply(b, target, other, fromIdx)
+	after := p.partialCost(nl, affected)
+	p.apply(b, fromIdx, other, target) // undo
+	delta := after - before
+	return delta, func() { p.apply(b, target, other, fromIdx) }
+}
+
+// probeMove measures |Δcost| of a random move without keeping it.
+func (p *Placement) probeMove(nl *netlist.Netlist, netsOf [][]int, rng *rand.Rand) float64 {
+	d, _ := p.proposeMove(nl, netsOf, rng)
+	return math.Abs(d)
+}
+
+// apply moves block b to site index target; if other ≥ 0 it takes b's old
+// site (index fromIdx).
+func (p *Placement) apply(b, target, other, fromIdx int) {
+	p.Pos[b] = p.Chip.SiteAt(target)
+	p.occ[target] = b
+	if other >= 0 {
+		p.Pos[other] = p.Chip.SiteAt(fromIdx)
+		p.occ[fromIdx] = other
+	} else {
+		p.occ[fromIdx] = -1
+	}
+}
+
+func (p *Placement) partialCost(nl *netlist.Netlist, nets []int) float64 {
+	var total float64
+	for _, i := range nets {
+		total += float64(netHPWL(p, &nl.Nets[i])) * float64(nl.Nets[i].Signals)
+	}
+	return total
+}
+
+func union(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	out := make([]int, 0, len(a)+len(b))
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+)
+
+// ringNetlist builds n blocks chained in a ring with unit-width nets.
+func ringNetlist(n int) *netlist.Netlist {
+	nl := &netlist.Netlist{Name: "ring"}
+	for i := 0; i < n; i++ {
+		nl.AddBlock(netlist.BlockPE, "b", i, 0)
+	}
+	for i := 0; i < n; i++ {
+		nl.AddNet(i, []int{(i + 1) % n}, 1)
+	}
+	return nl
+}
+
+func TestRandomPlacementValid(t *testing.T) {
+	nl := ringNetlist(20)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	p, err := Random(nl, chip, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRejectsOverfull(t *testing.T) {
+	nl := ringNetlist(30)
+	chip := fabric.Chip{W: 5, H: 5, Tracks: 4, Params: device.Params45nm}
+	if _, err := Random(nl, chip, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("30 blocks on 25 sites accepted")
+	}
+}
+
+func TestAnnealImprovesCost(t *testing.T) {
+	nl := ringNetlist(36)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	p, stats, err := Anneal(nl, chip, rng, Options{MovesPerTemp: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FinalCost >= stats.InitialCost {
+		t.Errorf("annealing did not improve: %v → %v", stats.InitialCost, stats.FinalCost)
+	}
+	// A ring of 36 blocks on a ~6×6 grid has an optimal HPWL near 2 per
+	// net; accept anything below 2.5× optimal.
+	if stats.FinalCost > 2.5*2*36 {
+		t.Errorf("final cost %v too far from optimal ~%v", stats.FinalCost, 2*36)
+	}
+}
+
+func TestAnnealCostMatchesRecomputation(t *testing.T) {
+	nl := ringNetlist(16)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	p, stats, err := Anneal(nl, chip, rng, Options{MovesPerTemp: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Cost(p, nl); got != stats.FinalCost {
+		t.Errorf("Cost = %v, stats.FinalCost = %v", got, stats.FinalCost)
+	}
+}
+
+func TestCostWeightsBySignals(t *testing.T) {
+	nl := &netlist.Netlist{}
+	a := nl.AddBlock(netlist.BlockPE, "a", 0, 0)
+	b := nl.AddBlock(netlist.BlockPE, "b", 1, 0)
+	nl.AddNet(a, []int{b}, 256)
+	chip := fabric.Chip{W: 4, H: 1, Tracks: 4, Params: device.Params45nm}
+	p := &Placement{Chip: chip, Pos: []fabric.Site{{X: 0, Y: 0}, {X: 3, Y: 0}}, occ: []int{0, -1, -1, 1}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Cost(p, nl); got != 3*256 {
+		t.Errorf("Cost = %v, want 768", got)
+	}
+}
+
+func TestAnnealSingleBlockNoop(t *testing.T) {
+	nl := &netlist.Netlist{}
+	nl.AddBlock(netlist.BlockPE, "solo", 0, 0)
+	chip := fabric.Chip{W: 2, H: 2, Tracks: 4, Params: device.Params45nm}
+	p, _, err := Anneal(nl, chip, rand.New(rand.NewSource(1)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

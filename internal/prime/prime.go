@@ -1,0 +1,58 @@
+// Package prime models the baselines FPSA is evaluated against (paper §6):
+// PRIME's ADC/DAC-based processing element and shared memory-bus
+// communication, the FP-PRIME hybrid (FPSA's routing with PRIME's PEs), and
+// the published computational densities of ISAAC and PipeLayer.
+//
+// The PE constants are Table 2 verbatim; the bus model is calibrated so the
+// published behaviour is reproduced: per-PE communication latency around
+// 2×10⁴ ns for VGG16 (Figure 7) and a real-performance plateau roughly two
+// orders of magnitude below the ideal curve (Figure 2).
+package prime
+
+// PECost is PRIME's per-PE cost for a 256×256 8-bit-weight 6-bit-I/O VMM
+// (Table 2).
+type PECost struct {
+	AreaUM2      float64
+	VMMLatencyNS float64
+}
+
+// PE is the published PRIME PE.
+var PE = PECost{AreaUM2: 34802.204, VMMLatencyNS: 3064.7}
+
+// Bus models PRIME's shared hierarchical memory bus.
+type Bus struct {
+	// BandwidthBitsPerNS is the total bus bandwidth shared by all PEs
+	// (128 bits/ns = 16 GB/s, a contemporary DDR3-class channel).
+	BandwidthBitsPerNS float64
+}
+
+// DefaultBus is the calibrated bus.
+var DefaultBus = Bus{BandwidthBitsPerNS: 128}
+
+// BitsPerVMM is the data a PE moves over the bus per VMM: 256 six-bit
+// inputs in and 256 six-bit outputs back.
+const BitsPerVMM = (256 + 256) * 6
+
+// CommLatencyNS returns the per-PE communication latency when `active` PEs
+// contend for the bus: each transfer effectively sees bandwidth B/active.
+func (b Bus) CommLatencyNS(active float64) float64 {
+	if active < 1 {
+		active = 1
+	}
+	return BitsPerVMM * active / b.BandwidthBitsPerNS
+}
+
+// Published computational densities of the other ReRAM accelerators
+// (§6.2), in OPS/mm².
+const (
+	DensityPRIME     = 1.229e12
+	DensityPipeLayer = 1.485e12
+	DensityISAAC     = 0.479e12
+)
+
+// ComputationalDensityOPSmm2 returns PRIME's PE-level density from its
+// Table 2 constants: 2·256·256 ops over latency×area (= 1.229 TOPS/mm²).
+func ComputationalDensityOPSmm2() float64 {
+	ops := 2.0 * 256 * 256
+	return ops / (PE.VMMLatencyNS * 1e-9) / (PE.AreaUM2 * 1e-6)
+}

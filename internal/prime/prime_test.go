@@ -1,0 +1,45 @@
+package prime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublishedConstants(t *testing.T) {
+	if PE.AreaUM2 != 34802.204 || PE.VMMLatencyNS != 3064.7 {
+		t.Errorf("PE constants drifted: %+v", PE)
+	}
+	// Density ordering (§6.2): FPSA(38) > PipeLayer > PRIME > ISAAC.
+	if !(DensityPipeLayer > DensityPRIME && DensityPRIME > DensityISAAC) {
+		t.Error("published density ordering broken")
+	}
+}
+
+func TestComputationalDensityClosedForm(t *testing.T) {
+	got := ComputationalDensityOPSmm2()
+	if math.Abs(got-DensityPRIME)/DensityPRIME > 0.001 {
+		t.Errorf("density = %v, want %v", got, DensityPRIME)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	b := DefaultBus
+	one := b.CommLatencyNS(1)
+	if want := BitsPerVMM / b.BandwidthBitsPerNS; math.Abs(one-want) > 1e-9 {
+		t.Errorf("uncontended latency = %v, want %v", one, want)
+	}
+	// Contention scales linearly; sub-1 active clamps to 1.
+	if ten := b.CommLatencyNS(10); math.Abs(ten-10*one) > 1e-9 {
+		t.Errorf("10-way contention = %v, want %v", ten, 10*one)
+	}
+	if clamped := b.CommLatencyNS(0.25); clamped != one {
+		t.Errorf("sub-unity active = %v, want %v", clamped, one)
+	}
+}
+
+func TestBitsPerVMM(t *testing.T) {
+	// 256 inputs + 256 outputs at 6 bits each.
+	if BitsPerVMM != 512*6 {
+		t.Errorf("BitsPerVMM = %d", BitsPerVMM)
+	}
+}

@@ -1,0 +1,394 @@
+// Package route implements PathFinder-style negotiated-congestion routing
+// over the FPSA fabric (paper §5.3): Dijkstra searches on a channel-level
+// routing-resource graph, iterated with growing present-congestion and
+// history costs until no channel is over capacity.
+//
+// The routing-resource graph is channel-granular: each tile carries one
+// horizontal and one vertical channel node of capacity Tracks, and a net of
+// width Signals consumes Signals track units on every channel node of its
+// route tree. This coarsening (versus VPR's per-track graph) keeps the
+// graph 2·W·H nodes while preserving what the evaluation needs: congestion
+// feasibility, required channel width, and per-net hop counts for the
+// communication-latency model.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+	"fpsa/internal/place"
+)
+
+// Options tunes the router.
+type Options struct {
+	// MaxIters bounds the negotiation iterations (default 30).
+	MaxIters int
+	// PresFacFirst/PresFacGrowth control the present-congestion penalty
+	// schedule (defaults 0.5, ×1.8 per iteration).
+	PresFacFirst  float64
+	PresFacGrowth float64
+	// HistGain is added to the history cost of each overused node per
+	// iteration (default 1).
+	HistGain float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 30
+	}
+	if o.PresFacFirst <= 0 {
+		o.PresFacFirst = 0.5
+	}
+	if o.PresFacGrowth <= 1 {
+		o.PresFacGrowth = 1.8
+	}
+	if o.HistGain <= 0 {
+		o.HistGain = 1
+	}
+	return o
+}
+
+// TreeEdge is one switch-box hop of a route tree: channel nodes A and B
+// are adjacent and electrically joined for the net.
+type TreeEdge struct{ A, B int }
+
+// Result is the routing outcome.
+type Result struct {
+	// Converged reports whether the final iteration had no overuse.
+	Converged bool
+	// Iterations actually run.
+	Iterations int
+	// NetRoutes[i] is net i's route tree (channel node IDs).
+	NetRoutes [][]int
+	// NetEdges[i] is the tree's switch-box hops; the source site's two
+	// seed nodes join through the source's connection box instead of an
+	// edge. Consumed by the bitstream generator.
+	NetEdges [][]TreeEdge
+	// NetHops[i] is the longest source→sink channel-hop count of net i.
+	NetHops []int
+	// MaxOccupancy is the busiest channel's track usage — the channel
+	// width this placement actually needs.
+	MaxOccupancy int
+	// Overused counts channel nodes above capacity in the last
+	// iteration.
+	Overused int
+}
+
+// NodeSite decodes a channel node ID into (direction, site) for the given
+// chip: direction 0 is horizontal, 1 vertical.
+func NodeSite(chip fabric.Chip, node int) (dir int, s fabric.Site) {
+	wh := chip.W * chip.H
+	dir = node / wh
+	rem := node % wh
+	return dir, fabric.Site{X: rem % chip.W, Y: rem / chip.W}
+}
+
+// MaxHops returns the critical (longest) net hop count.
+func (r *Result) MaxHops() int {
+	max := 0
+	for _, h := range r.NetHops {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// MeanHops returns the average net hop count.
+func (r *Result) MeanHops() float64 {
+	if len(r.NetHops) == 0 {
+		return 0
+	}
+	total := 0
+	for _, h := range r.NetHops {
+		total += h
+	}
+	return float64(total) / float64(len(r.NetHops))
+}
+
+// router carries per-run state.
+type router struct {
+	chip    fabric.Chip
+	nl      *netlist.Netlist
+	pl      *place.Placement
+	opts    Options
+	nodes   int
+	hist    []float64
+	occ     []int
+	presFac float64
+}
+
+// Node numbering: dir·W·H + y·W + x with dir 0 horizontal, 1 vertical.
+func (r *router) node(dir int, s fabric.Site) int {
+	return dir*r.chip.W*r.chip.H + s.Y*r.chip.W + s.X
+}
+
+func (r *router) siteOf(n int) (int, fabric.Site) {
+	wh := r.chip.W * r.chip.H
+	dir := n / wh
+	rem := n % wh
+	return dir, fabric.Site{X: rem % r.chip.W, Y: rem / r.chip.W}
+}
+
+// neighbors appends n's adjacent channel nodes to buf.
+func (r *router) neighbors(n int, buf []int) []int {
+	dir, s := r.siteOf(n)
+	// Turn at the switch box.
+	buf = append(buf, r.node(1-dir, s))
+	if dir == 0 { // horizontal: continue along X
+		if s.X > 0 {
+			buf = append(buf, r.node(0, fabric.Site{X: s.X - 1, Y: s.Y}))
+		}
+		if s.X < r.chip.W-1 {
+			buf = append(buf, r.node(0, fabric.Site{X: s.X + 1, Y: s.Y}))
+		}
+	} else { // vertical: continue along Y
+		if s.Y > 0 {
+			buf = append(buf, r.node(1, fabric.Site{X: s.X, Y: s.Y - 1}))
+		}
+		if s.Y < r.chip.H-1 {
+			buf = append(buf, r.node(1, fabric.Site{X: s.X, Y: s.Y + 1}))
+		}
+	}
+	return buf
+}
+
+// cost is the PathFinder node cost for a net of the given width.
+func (r *router) cost(n, signals int) float64 {
+	c := 1 + r.hist[n]
+	if over := r.occ[n] + signals - r.chip.Tracks; over > 0 {
+		c *= 1 + r.presFac*float64(over)
+	}
+	return c
+}
+
+// Route runs negotiated-congestion routing of nl under placement pl.
+func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Options) (*Result, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	r := &router{
+		chip:  chip,
+		nl:    nl,
+		pl:    pl,
+		opts:  opts,
+		nodes: 2 * chip.W * chip.H,
+	}
+	r.hist = make([]float64, r.nodes)
+	r.presFac = opts.PresFacFirst
+
+	// Wide nets first: they are hardest to place.
+	order := make([]int, len(nl.Nets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return nl.Nets[order[a]].Signals > nl.Nets[order[b]].Signals
+	})
+
+	res := &Result{
+		NetRoutes: make([][]int, len(nl.Nets)),
+		NetEdges:  make([][]TreeEdge, len(nl.Nets)),
+		NetHops:   make([]int, len(nl.Nets)),
+	}
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		r.occ = make([]int, r.nodes)
+		res.Iterations = iter
+		for _, ni := range order {
+			tree, edges, hops, err := r.routeNet(&nl.Nets[ni])
+			if err != nil {
+				return nil, fmt.Errorf("route: net %d: %w", ni, err)
+			}
+			res.NetRoutes[ni] = tree
+			res.NetEdges[ni] = edges
+			res.NetHops[ni] = hops
+			for _, n := range tree {
+				r.occ[n] += nl.Nets[ni].Signals
+			}
+		}
+		res.Overused = 0
+		res.MaxOccupancy = 0
+		for n := 0; n < r.nodes; n++ {
+			if r.occ[n] > res.MaxOccupancy {
+				res.MaxOccupancy = r.occ[n]
+			}
+			if r.occ[n] > chip.Tracks {
+				res.Overused++
+				r.hist[n] += opts.HistGain
+			}
+		}
+		if res.Overused == 0 {
+			res.Converged = true
+			return res, nil
+		}
+		r.presFac *= opts.PresFacGrowth
+	}
+	return res, nil
+}
+
+// routeNet builds a route tree source→all sinks and returns (tree nodes,
+// tree edges, max source→sink hops).
+func (r *router) routeNet(net *netlist.Net) ([]int, []TreeEdge, int, error) {
+	src := r.pl.Pos[net.Src]
+	inTree := make(map[int]int) // node → hops from source along tree
+	tree := make([]int, 0, 8)
+	var edges []TreeEdge
+	addTree := func(n, hops int) {
+		if _, ok := inTree[n]; !ok {
+			inTree[n] = hops
+			tree = append(tree, n)
+		}
+	}
+	// The source's CB reaches both channels at its site.
+	addTree(r.node(0, src), 1)
+	addTree(r.node(1, src), 1)
+
+	maxHops := 0
+	dist := make([]float64, r.nodes)
+	hops := make([]int, r.nodes)
+	prev := make([]int, r.nodes)
+	visited := make([]bool, r.nodes)
+	var buf [3]int
+	for _, sinkBlock := range net.Sinks {
+		sink := r.pl.Pos[sinkBlock]
+		tH, tV := r.node(0, sink), r.node(1, sink)
+		if _, ok := inTree[tH]; ok {
+			if h := inTree[tH]; h > maxHops {
+				maxHops = h
+			}
+			continue
+		}
+		if _, ok := inTree[tV]; ok {
+			if h := inTree[tV]; h > maxHops {
+				maxHops = h
+			}
+			continue
+		}
+		// Dijkstra seeded with the whole tree at cost 0.
+		for i := range dist {
+			dist[i] = -1
+			visited[i] = false
+		}
+		pq := &nodeHeap{}
+		for n, h := range inTree {
+			dist[n] = 0
+			hops[n] = h
+			prev[n] = -1
+			heap.Push(pq, nodeCost{node: n, cost: 0})
+		}
+		found := -1
+		for pq.Len() > 0 {
+			nc := heap.Pop(pq).(nodeCost)
+			n := nc.node
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			if n == tH || n == tV {
+				found = n
+				break
+			}
+			for _, m := range r.neighbors(n, buf[:0]) {
+				c := dist[n] + r.cost(m, net.Signals)
+				if dist[m] < 0 || c < dist[m] {
+					dist[m] = c
+					hops[m] = hops[n] + 1
+					prev[m] = n
+					heap.Push(pq, nodeCost{node: m, cost: c})
+				}
+			}
+		}
+		if found < 0 {
+			return nil, nil, 0, fmt.Errorf("no path to sink block %d", sinkBlock)
+		}
+		if hops[found] > maxHops {
+			maxHops = hops[found]
+		}
+		// Walk back, adding the new branch (nodes and switch-box hops)
+		// to the tree. Dijkstra was seeded with every tree node at
+		// prev = −1, so the walk ends exactly where the branch joins
+		// the existing tree.
+		for n := found; ; n = prev[n] {
+			addTree(n, hops[n])
+			if prev[n] < 0 {
+				break
+			}
+			edges = append(edges, TreeEdge{A: prev[n], B: n})
+		}
+	}
+	return tree, edges, maxHops, nil
+}
+
+// nodeCost / nodeHeap implement the Dijkstra priority queue.
+type nodeCost struct {
+	node int
+	cost float64
+}
+
+type nodeHeap []nodeCost
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeCost)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EstimateHops predicts per-net hop counts from placement alone (HPWL+1),
+// for netlists too large to route exhaustively; the full router reports
+// exact values on small and medium designs and the estimate tracks it.
+func EstimateHops(nl *netlist.Netlist, pl *place.Placement) []int {
+	hops := make([]int, len(nl.Nets))
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		s := pl.Pos[net.Src]
+		maxD := 0
+		for _, b := range net.Sinks {
+			q := pl.Pos[b]
+			d := abs(q.X-s.X) + abs(q.Y-s.Y)
+			if d > maxD {
+				maxD = d
+			}
+		}
+		hops[i] = maxD + 1
+	}
+	return hops
+}
+
+// RandomizedEstimate is a helper for perf models: mean hops over nets of a
+// synthetic placement with the given block count and fan-out (used when no
+// concrete netlist exists, e.g. baseline sweeps).
+func RandomizedEstimate(blocks int, rng *rand.Rand) float64 {
+	if blocks < 2 {
+		return 1
+	}
+	side := 1
+	for side*side < blocks {
+		side++
+	}
+	const samples = 256
+	total := 0
+	for i := 0; i < samples; i++ {
+		x1, y1 := rng.Intn(side), rng.Intn(side)
+		x2, y2 := rng.Intn(side), rng.Intn(side)
+		total += abs(x1-x2) + abs(y1-y2) + 1
+	}
+	return float64(total) / samples
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

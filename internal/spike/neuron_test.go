@@ -1,0 +1,164 @@
+package spike
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func runNeuron(n *Neuron, drives []float64) int {
+	count := 0
+	for _, d := range drives {
+		if n.Step(d) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestNeuronFloorSemantics(t *testing.T) {
+	// With per-cycle drives ≤ η, the ideal neuron emits exactly
+	// floor(Σ drive / η) spikes over the window (Eq. 3-5 telescoping).
+	rng := rand.New(rand.NewSource(21))
+	const eta = 100.0
+	for trial := 0; trial < 200; trial++ {
+		window := 64
+		drives := make([]float64, window)
+		var total float64
+		for i := range drives {
+			drives[i] = rng.Float64() * eta
+			total += drives[i]
+		}
+		n := &Neuron{Eta: eta}
+		got := runNeuron(n, drives)
+		want := int(total / eta)
+		if got != want {
+			t.Fatalf("trial %d: neuron fired %d, want floor(%v/%v)=%d", trial, got, total, eta, want)
+		}
+	}
+}
+
+func TestNeuronOneSpikePerCycleCap(t *testing.T) {
+	// Drive of 3η in one cycle cannot emit 3 spikes at once; the excess
+	// drains on later cycles (S-R latch emits one spike per cycle).
+	n := &Neuron{Eta: 1}
+	if !n.Step(3) {
+		t.Fatal("cycle 0: want spike")
+	}
+	if !n.Step(0) {
+		t.Fatal("cycle 1: want carried spike")
+	}
+	if !n.Step(0) {
+		t.Fatal("cycle 2: want carried spike")
+	}
+	if n.Step(0) {
+		t.Fatal("cycle 3: drive exhausted, got spike")
+	}
+}
+
+func TestNeuronReset(t *testing.T) {
+	n := &Neuron{Eta: 10}
+	n.Step(9)
+	if n.Potential() != 9 {
+		t.Fatalf("potential = %v, want 9", n.Potential())
+	}
+	n.Reset()
+	if n.Potential() != 0 {
+		t.Fatalf("potential after reset = %v, want 0", n.Potential())
+	}
+	if n.Step(9) {
+		t.Fatal("post-reset 9/10 drive fired")
+	}
+}
+
+func TestRCNeuronEtaClosedForm(t *testing.T) {
+	n := &RCNeuron{Vdd: 1.2, Vth: 0.7, Vre: 0.1, TauOverC: 0.003}
+	want := math.Log((1.2-0.1)/(1.2-0.7)) / 0.003
+	if got := n.Eta(); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Eta() = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultRCNeuronMatchesEta(t *testing.T) {
+	for _, eta := range []float64{1, 64, 1000, 3840} {
+		n := DefaultRCNeuron(eta)
+		if got := n.Eta(); math.Abs(got-eta)/eta > 1e-9 {
+			t.Errorf("DefaultRCNeuron(%v).Eta() = %v", eta, got)
+		}
+	}
+}
+
+func TestRCNeuronExactWhenDrivesQuantized(t *testing.T) {
+	// When each cycle's drive is exactly η, the capacitor lands exactly
+	// on Vth every cycle: RC and ideal agree with zero error.
+	const eta = 50.0
+	rc := DefaultRCNeuron(eta)
+	ideal := &Neuron{Eta: eta}
+	for cycle := 0; cycle < 64; cycle++ {
+		rcSpike := rc.Step(eta)
+		idealSpike := ideal.Step(eta)
+		if rcSpike != idealSpike {
+			t.Fatalf("cycle %d: rc=%v ideal=%v", cycle, rcSpike, idealSpike)
+		}
+		if !rcSpike {
+			t.Fatalf("cycle %d: drive η must fire every cycle", cycle)
+		}
+	}
+}
+
+func TestRCNeuronTracksIdealWithinOvershootBound(t *testing.T) {
+	// With per-cycle drive ≤ dmax, each RC discharge loses < dmax of
+	// accumulated drive, so over Y spikes the undercount is bounded by
+	// ceil(Y·dmax/η) + 1. This quantifies the idealization in Eq. 2.
+	rng := rand.New(rand.NewSource(31))
+	const eta = 100.0
+	for trial := 0; trial < 100; trial++ {
+		dmax := eta / 8
+		window := 256
+		rc := DefaultRCNeuron(eta)
+		ideal := &Neuron{Eta: eta}
+		rcCount, idealCount := 0, 0
+		for c := 0; c < window; c++ {
+			d := rng.Float64() * dmax
+			if rc.Step(d) {
+				rcCount++
+			}
+			if ideal.Step(d) {
+				idealCount++
+			}
+		}
+		if rcCount > idealCount {
+			t.Fatalf("trial %d: RC overcounted: rc=%d ideal=%d", trial, rcCount, idealCount)
+		}
+		bound := int(float64(idealCount)*dmax/eta) + 2
+		if idealCount-rcCount > bound {
+			t.Fatalf("trial %d: undercount %d exceeds bound %d", trial, idealCount-rcCount, bound)
+		}
+	}
+}
+
+func TestRCNeuronResetVoltage(t *testing.T) {
+	n := DefaultRCNeuron(10)
+	n.Step(5)
+	if n.Voltage() <= n.Vre {
+		t.Fatal("voltage did not rise on drive")
+	}
+	n.Reset()
+	if got := n.Voltage(); got != n.Vre {
+		t.Fatalf("voltage after reset = %v, want %v", got, n.Vre)
+	}
+}
+
+func BenchmarkNeuronStep(b *testing.B) {
+	n := &Neuron{Eta: 100}
+	for i := 0; i < b.N; i++ {
+		n.Step(1.5)
+	}
+}
+
+func BenchmarkRCNeuronStep(b *testing.B) {
+	n := DefaultRCNeuron(100)
+	for i := 0; i < b.N; i++ {
+		n.Step(1.5)
+	}
+}

@@ -1,0 +1,47 @@
+package spike
+
+// Subtracter is the spike subtracter of Figure 4(E): it merges the spike
+// trains of a positive and a negative crossbar column into one output train
+// whose count is max(Y⁺ − Y⁻, 0) (Eq. 6). The circuit mechanism is that
+// each negative spike blocks the next positive spike; a same-cycle pair
+// cancels.
+type Subtracter struct {
+	// debt counts negative spikes that have not yet blocked a positive
+	// spike.
+	debt int
+}
+
+// Step processes one cycle and reports whether an output spike is emitted.
+func (s *Subtracter) Step(pos, neg bool) bool {
+	if neg {
+		s.debt++
+	}
+	if !pos {
+		return false
+	}
+	if s.debt > 0 {
+		s.debt--
+		return false
+	}
+	return true
+}
+
+// Reset clears the blocking state between sampling windows.
+func (s *Subtracter) Reset() { s.debt = 0 }
+
+// PendingBlocks exposes the outstanding negative-spike debt, for tests.
+func (s *Subtracter) PendingBlocks() int { return s.debt }
+
+// SubtractTrains runs a fresh Subtracter over two whole trains and returns
+// the output train. The trains must share a window length.
+func SubtractTrains(pos, neg Train) Train {
+	if len(pos) != len(neg) {
+		panic("spike: subtracter train windows differ")
+	}
+	var s Subtracter
+	out := NewTrain(len(pos))
+	for t := range pos {
+		out[t] = s.Step(pos[t], neg[t])
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package spike
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubtractUniformTrainsExact(t *testing.T) {
+	// For the evenly spaced trains SMB generators emit, the stream
+	// subtracter realizes Eq. 6 exactly: count = max(P−N, 0).
+	const window = 64
+	for p := 0; p <= window; p++ {
+		for n := 0; n <= window; n++ {
+			out := SubtractTrains(UniformTrain(p, window), UniformTrain(n, window))
+			want := p - n
+			if want < 0 {
+				want = 0
+			}
+			if got := out.Count(); got != want {
+				t.Fatalf("Subtract(uniform %d, uniform %d) = %d, want %d", p, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSubtractSameCycleCancels(t *testing.T) {
+	pos := Train{true, false, true}
+	neg := Train{true, false, false}
+	out := SubtractTrains(pos, neg)
+	if got := out.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if out[0] || !out[2] {
+		t.Fatalf("out = %v, want spike only at cycle 2", out)
+	}
+}
+
+func TestSubtractNegBlocksNextPos(t *testing.T) {
+	// A negative spike with no concurrent positive blocks the NEXT
+	// positive spike (the circuit mechanism in §4.2).
+	pos := Train{false, true, true}
+	neg := Train{true, false, false}
+	out := SubtractTrains(pos, neg)
+	if out[1] {
+		t.Fatal("cycle-1 positive should have been blocked")
+	}
+	if !out[2] {
+		t.Fatal("cycle-2 positive should pass")
+	}
+}
+
+func TestSubtractLateNegativeCannotBlock(t *testing.T) {
+	// Negative spikes arriving after the last positive block nothing —
+	// the bounded deviation from Eq. 6 for adversarial (non-neuron)
+	// trains.
+	pos := Train{true, false, false}
+	neg := Train{false, false, true}
+	if got := SubtractTrains(pos, neg).Count(); got != 1 {
+		t.Fatalf("count = %d, want 1 (late negative blocks nothing)", got)
+	}
+}
+
+func TestSubtractMismatchedWindowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on mismatched windows")
+		}
+	}()
+	SubtractTrains(NewTrain(4), NewTrain(5))
+}
+
+func TestQuickSubtractBounds(t *testing.T) {
+	// For arbitrary trains: max(P−N,0) ≤ out ≤ P.
+	rng := rand.New(rand.NewSource(41))
+	f := func() bool {
+		window := 32 + rng.Intn(64)
+		pos, neg := NewTrain(window), NewTrain(window)
+		for i := 0; i < window; i++ {
+			pos[i] = rng.Intn(2) == 1
+			neg[i] = rng.Intn(3) == 1
+		}
+		out := SubtractTrains(pos, neg).Count()
+		p, n := pos.Count(), neg.Count()
+		low := p - n
+		if low < 0 {
+			low = 0
+		}
+		return out >= low && out <= p
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtracterReset(t *testing.T) {
+	var s Subtracter
+	s.Step(false, true)
+	if s.PendingBlocks() != 1 {
+		t.Fatalf("debt = %d, want 1", s.PendingBlocks())
+	}
+	s.Reset()
+	if s.PendingBlocks() != 0 {
+		t.Fatal("debt not cleared by Reset")
+	}
+	if !s.Step(true, false) {
+		t.Fatal("post-reset positive spike was blocked")
+	}
+}

@@ -1,0 +1,268 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fpsa/internal/cgraph"
+	"fpsa/internal/coreop"
+	"fpsa/internal/device"
+	"fpsa/internal/pe"
+	"fpsa/internal/spike"
+)
+
+// ExternalStage marks an ExecRef as reading the network's external input.
+const ExternalStage = -1
+
+// ZeroStage marks an ExecRef as a constant-zero signal (convolution
+// padding rows).
+const ZeroStage = -2
+
+// ExecRef identifies the producer of one logical signal: a column of an
+// earlier stage's output, an element of the external input vector, or the
+// constant zero.
+type ExecRef struct {
+	Stage int // ExternalStage, ZeroStage, or index into Program.Stages
+	Col   int
+}
+
+// ExecStage is one executable core-op: a weight group plus the refs feeding
+// each of its rows.
+type ExecStage struct {
+	GroupID int
+	InRefs  []ExecRef
+}
+
+// Program is an executable synthesized network (FC graphs with supplied
+// weights). Stages are topologically ordered; outputs are read at
+// OutputRefs.
+type Program struct {
+	Graph      *coreop.Graph
+	Params     device.Params
+	Stages     []ExecStage
+	OutputRefs []ExecRef
+	InputSize  int
+}
+
+// Compile synthesizes g functionally: it requires opts.Weights and returns
+// both the core-op graph and the executable program.
+func Compile(g *cgraph.Graph, opts Options) (*coreop.Graph, *Program, error) {
+	if opts.Weights == nil {
+		return nil, nil, fmt.Errorf("synth: Compile requires Options.Weights")
+	}
+	return synthesize(g, opts)
+}
+
+// ExecMode selects how Program.Run evaluates each core-op.
+type ExecMode int
+
+// Execution modes.
+const (
+	// ModeReference runs the integer reference semantics
+	// (floor(P/η)−floor(N/η) with ReLU and window clamping).
+	ModeReference ExecMode = iota
+	// ModeSpiking runs the full cycle-level spiking PE simulation with
+	// ideal devices.
+	ModeSpiking
+	// ModeSpikingNoisy runs the cycle-level simulation on conductances
+	// programmed with device variation (requires Rng).
+	ModeSpikingNoisy
+)
+
+// RunOptions configures Program execution.
+type RunOptions struct {
+	Mode ExecMode
+	// Rng supplies programming variation for ModeSpikingNoisy.
+	Rng *rand.Rand
+	// Spec overrides the cell spec (default device.Cell4Bit).
+	Spec device.CellSpec
+}
+
+// Run executes the program on one input vector of spike counts in [0, Γ]
+// and returns the output counts at the network's output refs.
+func (p *Program) Run(input []int, opts RunOptions) ([]int, error) {
+	if len(input) != p.InputSize {
+		return nil, fmt.Errorf("synth: input length %d, want %d", len(input), p.InputSize)
+	}
+	window := p.Params.SamplingWindow()
+	for i, v := range input {
+		if v < 0 || v > window {
+			return nil, fmt.Errorf("synth: input[%d] = %d outside [0,%d]", i, v, window)
+		}
+	}
+	spec := opts.Spec
+	if spec.Bits == 0 {
+		spec = device.Cell4Bit
+	}
+	if opts.Mode != ModeSpikingNoisy {
+		spec.Sigma = 0
+	} else if opts.Rng == nil {
+		return nil, fmt.Errorf("synth: ModeSpikingNoisy requires RunOptions.Rng")
+	}
+	cfg := pe.Config{
+		Params: p.Params,
+		Spec:   spec,
+		Rep:    device.NewAdd(spec, p.Params.CellsPerWeight),
+	}
+	// Weight groups are shared across stages (conv positions): program
+	// each group's PE once, exactly as the chip holds one physical
+	// crossbar per group copy.
+	units := make(map[int]*pe.PE, len(p.Graph.Groups))
+	unitFor := func(groupID int) (*pe.PE, error) {
+		if u, ok := units[groupID]; ok {
+			return u, nil
+		}
+		grp := p.Graph.Groups[groupID]
+		c := cfg
+		c.Eta = grp.Eta
+		u := pe.New(c)
+		var rng *rand.Rand
+		if opts.Mode == ModeSpikingNoisy {
+			rng = opts.Rng
+		}
+		if err := u.Program(grp.Weights, rng); err != nil {
+			return nil, err
+		}
+		units[groupID] = u
+		return u, nil
+	}
+	outputs := make([][]int, len(p.Stages))
+	for si, st := range p.Stages {
+		grp := p.Graph.Groups[st.GroupID]
+		x := make([]int, len(st.InRefs))
+		for r, ref := range st.InRefs {
+			switch {
+			case ref.Stage == ExternalStage:
+				x[r] = input[ref.Col]
+			case ref.Stage == ZeroStage:
+				x[r] = 0
+			case ref.Stage >= 0 && ref.Stage < si:
+				x[r] = outputs[ref.Stage][ref.Col]
+			default:
+				return nil, fmt.Errorf("synth: stage %d row %d references stage %d", si, r, ref.Stage)
+			}
+		}
+		unit, err := unitFor(st.GroupID)
+		if err != nil {
+			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
+		}
+		out, err := runStageOn(unit, x, opts)
+		if err != nil {
+			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
+		}
+		outputs[si] = out
+	}
+	result := make([]int, len(p.OutputRefs))
+	for i, ref := range p.OutputRefs {
+		if ref.Stage == ExternalStage {
+			result[i] = input[ref.Col]
+			continue
+		}
+		result[i] = outputs[ref.Stage][ref.Col]
+	}
+	return result, nil
+}
+
+// runStageOn evaluates one core-op on a programmed PE.
+func runStageOn(unit *pe.PE, x []int, opts RunOptions) ([]int, error) {
+	switch opts.Mode {
+	case ModeReference:
+		return unit.ReferenceVMM(x)
+	case ModeSpiking, ModeSpikingNoisy:
+		window := unit.Config().Params.SamplingWindow()
+		trains := make([]spike.Train, len(x))
+		for i, c := range x {
+			trains[i] = spike.UniformTrain(c, window)
+		}
+		outs, err := unit.Simulate(trains)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]int, len(outs))
+		for i, tr := range outs {
+			counts[i] = tr.Count()
+		}
+		return counts, nil
+	default:
+		return nil, fmt.Errorf("unknown exec mode %d", opts.Mode)
+	}
+}
+
+// FloatReference evaluates the same quantized pipeline in real arithmetic
+// (no floors, no window clamping) — the mathematical function the spiking
+// program approximates. Useful for quantifying spiking error in tests.
+func (p *Program) FloatReference(input []int) ([]float64, error) {
+	if len(input) != p.InputSize {
+		return nil, fmt.Errorf("synth: input length %d, want %d", len(input), p.InputSize)
+	}
+	outputs := make([][]float64, len(p.Stages))
+	for si, st := range p.Stages {
+		grp := p.Graph.Groups[st.GroupID]
+		x := make([]float64, len(st.InRefs))
+		for r, ref := range st.InRefs {
+			switch ref.Stage {
+			case ExternalStage:
+				x[r] = float64(input[ref.Col])
+			case ZeroStage:
+				x[r] = 0
+			default:
+				x[r] = outputs[ref.Stage][ref.Col]
+			}
+		}
+		out := make([]float64, grp.Cols)
+		for j := 0; j < grp.Cols; j++ {
+			var acc float64
+			for i := 0; i < grp.Rows; i++ {
+				acc += float64(grp.Weights[i][j]) * x[i]
+			}
+			v := acc / grp.Eta
+			if v < 0 {
+				v = 0
+			}
+			out[j] = v
+		}
+		outputs[si] = out
+	}
+	result := make([]float64, len(p.OutputRefs))
+	for i, ref := range p.OutputRefs {
+		if ref.Stage == ExternalStage {
+			result[i] = float64(input[ref.Col])
+			continue
+		}
+		result[i] = outputs[ref.Stage][ref.Col]
+	}
+	return result, nil
+}
+
+// Argmax returns the index of the largest count (ties to the lowest index).
+func Argmax(v []int) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgmaxFloat returns the index of the largest value.
+func ArgmaxFloat(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// QuantizeInput maps real-valued features in [0,1] to window counts.
+func QuantizeInput(features []float64, window int) []int {
+	counts := make([]int, len(features))
+	for i, f := range features {
+		c := int(math.Round(f * float64(window)))
+		counts[i] = spike.Clamp(c, window)
+	}
+	return counts
+}

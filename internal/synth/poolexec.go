@@ -1,0 +1,316 @@
+package synth
+
+import (
+	"fmt"
+
+	"fpsa/internal/cgraph"
+	"fpsa/internal/coreop"
+)
+
+// Functional lowering of the weight-free structural operations: max
+// pooling via the pairwise-max construction max(a,b) = a + ReLU(b−a)
+// (two core-ops per pair), exact average pooling via 1/K² columns, and
+// residual adds via two-row identity columns. The ±1 matrices are shared
+// across every position, level and layer invocation — a single weight
+// group per structure width — mirroring how the chip would time-multiplex
+// one programmed crossbar.
+
+// pairwiseGroups caches the shared diff/comb groups per channel width.
+type pairwiseGroups struct {
+	diff, comb int
+}
+
+// pairwiseFor returns (creating on demand) the shared pairwise-max groups
+// for the given width.
+func (s *synthesizer) pairwiseFor(width int, deps []int) pairwiseGroups {
+	if s.pairwise == nil {
+		s.pairwise = make(map[int]pairwiseGroups)
+	}
+	if g, ok := s.pairwise[width]; ok {
+		s.bumpReuse(g.diff)
+		s.bumpReuse(g.comb)
+		return g
+	}
+	maxW := s.peMaxWeight()
+	mk := func(kind string, a, b int) int {
+		grp := s.out.AddGroup(newGroup("pairwise-max", fmt.Sprintf("pmax.%s%d", kind, width),
+			coreop.KindPool, 2*width, width, 1, deps))
+		grp.UsefulWeights = 2 * int64(width)
+		w := make([][]int, 2*width)
+		for i := range w {
+			w[i] = make([]int, width)
+		}
+		for c := 0; c < width; c++ {
+			w[2*c][c] = a
+			w[2*c+1][c] = b
+		}
+		grp.Weights = w
+		grp.Eta = float64(maxW)
+		return grp.ID
+	}
+	g := pairwiseGroups{
+		diff: mk("d", -maxW, maxW), // ReLU(b − a)
+		comb: mk("c", maxW, maxW),  // ReLU(a + d) = max(a, b)
+	}
+	s.pairwise[width] = g
+	return g
+}
+
+// bumpReuse increments a shared group's reuse degree for one more
+// invocation.
+func (s *synthesizer) bumpReuse(gid int) { s.out.Groups[gid].Reuse++ }
+
+// pairwiseMax records the two stages computing elementwise max(a, b).
+func (s *synthesizer) pairwiseMax(a, b []ExecRef, deps []int) []ExecRef {
+	width := len(a)
+	g := s.pairwiseFor(width, deps)
+	interleave := func(x, y []ExecRef) []ExecRef {
+		refs := make([]ExecRef, 0, 2*width)
+		for c := 0; c < width; c++ {
+			refs = append(refs, x[c], y[c])
+		}
+		return refs
+	}
+	dStage := s.recordStage(g.diff, interleave(a, b))
+	d := make([]ExecRef, width)
+	for c := range d {
+		d[c] = ExecRef{Stage: dStage, Col: c}
+	}
+	mStage := s.recordStage(g.comb, interleave(a, d))
+	out := make([]ExecRef, width)
+	for c := range out {
+		out[c] = ExecRef{Stage: mStage, Col: c}
+	}
+	return out
+}
+
+// lowerMaxPoolExact lowers max pooling functionally.
+func (s *synthesizer) lowerMaxPoolExact(n *cgraph.Node, op cgraph.Pool) error {
+	in := n.Inputs[0].OutShape
+	inRefs := s.nodeRefs[n.Inputs[0].ID]
+	if len(inRefs) != in.Elems() {
+		return fmt.Errorf("layer %q: %d producer refs, want %d", n.Name, len(inRefs), in.Elems())
+	}
+	deps := s.depsOf(n)
+	pack := s.maxRows / 2
+	outRefs := make([]ExecRef, n.OutShape.Elems())
+	k2 := op.Kernel * op.Kernel
+	for oy := 0; oy < n.OutShape.H; oy++ {
+		for ox := 0; ox < n.OutShape.W; ox++ {
+			for c0 := 0; c0 < in.C; c0 += pack {
+				width := min(pack, in.C-c0)
+				// Gather the window's k² value vectors for this
+				// channel slice.
+				vals := make([][]ExecRef, 0, k2)
+				for ky := 0; ky < op.Kernel; ky++ {
+					for kx := 0; kx < op.Kernel; kx++ {
+						iy := oy*op.Stride - op.Pad + ky
+						ix := ox*op.Stride - op.Pad + kx
+						v := make([]ExecRef, width)
+						for c := 0; c < width; c++ {
+							if iy < 0 || iy >= in.H || ix < 0 || ix >= in.W {
+								v[c] = ExecRef{Stage: ZeroStage}
+							} else {
+								v[c] = inRefs[chwIndex(in, c0+c, iy, ix)]
+							}
+						}
+						vals = append(vals, v)
+					}
+				}
+				// Pairwise reduction tree.
+				for len(vals) > 1 {
+					var next [][]ExecRef
+					for i := 0; i+1 < len(vals); i += 2 {
+						next = append(next, s.pairwiseMax(vals[i], vals[i+1], deps))
+					}
+					if len(vals)%2 == 1 {
+						next = append(next, vals[len(vals)-1])
+					}
+					vals = next
+				}
+				for c := 0; c < width; c++ {
+					outRefs[chwIndex(n.OutShape, c0+c, oy, ox)] = vals[0][c]
+				}
+			}
+		}
+	}
+	s.produced[n.ID] = s.pairwiseIDs()
+	s.nodeRefs[n.ID] = outRefs
+	return nil
+}
+
+// pairwiseIDs lists the shared pairwise groups (produced bookkeeping).
+func (s *synthesizer) pairwiseIDs() []int {
+	var ids []int
+	for _, g := range s.pairwise {
+		ids = append(ids, g.diff, g.comb)
+	}
+	return ids
+}
+
+// lowerAvgPoolExact lowers average pooling (window k²) functionally; GAP
+// passes k² = H·W with one output position.
+func (s *synthesizer) lowerAvgPoolExact(n *cgraph.Node, kernel, stride, pad, outH, outW int) error {
+	in := n.Inputs[0].OutShape
+	inRefs := s.nodeRefs[n.Inputs[0].ID]
+	if len(inRefs) != in.Elems() {
+		return fmt.Errorf("layer %q: %d producer refs, want %d", n.Name, len(inRefs), in.Elems())
+	}
+	deps := s.depsOf(n)
+	k2 := kernel * kernel
+	if kernel == 0 { // global: the full plane
+		k2 = in.H * in.W
+	}
+	maxW := s.peMaxWeight()
+	cellW := maxW / k2
+	if cellW == 0 {
+		return fmt.Errorf("layer %q: window %d too large for %d-level weights", n.Name, k2, maxW)
+	}
+	pack := s.maxRows / k2
+	if pack < 1 {
+		return fmt.Errorf("layer %q: window %d exceeds crossbar rows", n.Name, k2)
+	}
+	// Shared averaging groups per width.
+	if s.avgGroups == nil {
+		s.avgGroups = make(map[[2]int]int)
+	}
+	groupFor := func(width int) int {
+		key := [2]int{k2, width}
+		if gid, ok := s.avgGroups[key]; ok {
+			s.bumpReuse(gid)
+			return gid
+		}
+		grp := s.out.AddGroup(newGroup(n.Name, fmt.Sprintf("%s.avg%dx%d", n.Name, k2, width),
+			coreop.KindPool, k2*width, width, 1, deps))
+		grp.UsefulWeights = int64(k2) * int64(width)
+		w := make([][]int, k2*width)
+		for i := range w {
+			w[i] = make([]int, width)
+		}
+		for c := 0; c < width; c++ {
+			for i := 0; i < k2; i++ {
+				w[c*k2+i][c] = cellW
+			}
+		}
+		grp.Weights = w
+		grp.Eta = float64(cellW * k2)
+		s.avgGroups[key] = grp.ID
+		return grp.ID
+	}
+	outRefs := make([]ExecRef, n.OutShape.Elems())
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			for c0 := 0; c0 < in.C; c0 += pack {
+				width := min(pack, in.C-c0)
+				refs := make([]ExecRef, 0, k2*width)
+				for c := 0; c < width; c++ {
+					if kernel == 0 {
+						for iy := 0; iy < in.H; iy++ {
+							for ix := 0; ix < in.W; ix++ {
+								refs = append(refs, inRefs[chwIndex(in, c0+c, iy, ix)])
+							}
+						}
+						continue
+					}
+					for ky := 0; ky < kernel; ky++ {
+						for kx := 0; kx < kernel; kx++ {
+							iy := oy*stride - pad + ky
+							ix := ox*stride - pad + kx
+							if iy < 0 || iy >= in.H || ix < 0 || ix >= in.W {
+								refs = append(refs, ExecRef{Stage: ZeroStage})
+							} else {
+								refs = append(refs, inRefs[chwIndex(in, c0+c, iy, ix)])
+							}
+						}
+					}
+				}
+				stage := s.recordStage(groupFor(width), refs)
+				for c := 0; c < width; c++ {
+					outRefs[chwIndex(n.OutShape, c0+c, oy, ox)] = ExecRef{Stage: stage, Col: c}
+				}
+			}
+		}
+	}
+	s.produced[n.ID] = avgIDs(s)
+	s.nodeRefs[n.ID] = outRefs
+	return nil
+}
+
+func avgIDs(s *synthesizer) []int {
+	var ids []int
+	for _, gid := range s.avgGroups {
+		ids = append(ids, gid)
+	}
+	return ids
+}
+
+// lowerAddExact lowers the elementwise residual add functionally:
+// out = ReLU(a + b) per element, packed 128 elements per stage.
+func (s *synthesizer) lowerAddExact(n *cgraph.Node) error {
+	if len(n.Inputs) != 2 {
+		return fmt.Errorf("functional synthesis supports binary adds only (%q has %d operands)", n.Name, len(n.Inputs))
+	}
+	a := s.nodeRefs[n.Inputs[0].ID]
+	b := s.nodeRefs[n.Inputs[1].ID]
+	elems := n.OutShape.Elems()
+	if len(a) != elems || len(b) != elems {
+		return fmt.Errorf("layer %q: operand refs %d/%d, want %d", n.Name, len(a), len(b), elems)
+	}
+	deps := s.depsOf(n)
+	maxW := s.peMaxWeight()
+	pack := s.maxRows / 2
+	if s.addGroups == nil {
+		s.addGroups = make(map[int]int)
+	}
+	groupFor := func(width int) int {
+		if gid, ok := s.addGroups[width]; ok {
+			s.bumpReuse(gid)
+			return gid
+		}
+		grp := s.out.AddGroup(newGroup(n.Name, fmt.Sprintf("addx%d", width),
+			coreop.KindElementwise, 2*width, width, 1, deps))
+		grp.UsefulWeights = 2 * int64(width)
+		w := make([][]int, 2*width)
+		for i := range w {
+			w[i] = make([]int, width)
+		}
+		for c := 0; c < width; c++ {
+			w[2*c][c] = maxW
+			w[2*c+1][c] = maxW
+		}
+		grp.Weights = w
+		grp.Eta = float64(maxW)
+		s.addGroups[width] = grp.ID
+		return grp.ID
+	}
+	outRefs := make([]ExecRef, elems)
+	var ids []int
+	for e0 := 0; e0 < elems; e0 += pack {
+		width := min(pack, elems-e0)
+		refs := make([]ExecRef, 0, 2*width)
+		for c := 0; c < width; c++ {
+			refs = append(refs, a[e0+c], b[e0+c])
+		}
+		gid := groupFor(width)
+		ids = append(ids, gid)
+		stage := s.recordStage(gid, refs)
+		for c := 0; c < width; c++ {
+			outRefs[e0+c] = ExecRef{Stage: stage, Col: c}
+		}
+	}
+	s.produced[n.ID] = dedupeInts(ids)
+	s.nodeRefs[n.ID] = outRefs
+	return nil
+}
+
+func dedupeInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package trainer
+
+import (
+	"math"
+	"math/rand"
+
+	"fpsa/internal/device"
+)
+
+// ProgramNetwork returns a copy of m whose every weight has been quantized
+// onto rep's signed grid and programmed onto ReRAM cells with the spec's
+// variation (nil rng = ideal programming, isolating pure quantization).
+//
+// This is the Figure 9 code path: weight w maps per layer to an integer in
+// [−MaxWeight, MaxWeight]; its magnitude goes to one polarity's cells via
+// rep.Encode, the opposite polarity holds zero, and the decoded signed
+// value (with per-cell Gaussian noise) replaces w.
+func ProgramNetwork(m *MLP, rep device.Representation, spec device.CellSpec, rng *rand.Rand) *MLP {
+	out := m.Clone()
+	maxW := float64(rep.MaxWeight())
+	for _, w := range out.W {
+		scale := 0.0
+		for i := range w {
+			for _, v := range w[i] {
+				if a := math.Abs(v); a > scale {
+					scale = a
+				}
+			}
+		}
+		if scale == 0 {
+			continue
+		}
+		for i := range w {
+			for j, v := range w[i] {
+				q := math.Round(v / scale * maxW)
+				if q > maxW {
+					q = maxW
+				}
+				if q < -maxW {
+					q = -maxW
+				}
+				pos, neg := 0, 0
+				if q >= 0 {
+					pos = int(q)
+				} else {
+					neg = int(-q)
+				}
+				gp := device.ProgramWeight(rep, spec, pos, rng)
+				gn := device.ProgramWeight(rep, spec, neg, rng)
+				w[i][j] = (gp - gn) * scale / maxW
+			}
+		}
+	}
+	return out
+}
+
+// VariationTrial is one Monte-Carlo accuracy measurement.
+type VariationTrial struct {
+	Accuracy           float64
+	NormalizedAccuracy float64
+}
+
+// VariationStudy measures the mean accuracy of a representation under
+// programming variation over `trials` Monte-Carlo programmings, normalized
+// by the full-precision accuracy (the Figure 9 y-axis).
+func VariationStudy(m *MLP, ds Dataset, rep device.Representation, spec device.CellSpec, rng *rand.Rand, trials int) VariationTrial {
+	full := m.Accuracy(ds)
+	if trials < 1 {
+		trials = 1
+	}
+	var sum float64
+	for t := 0; t < trials; t++ {
+		perturbed := ProgramNetwork(m, rep, spec, rng)
+		sum += perturbed.Accuracy(ds)
+	}
+	mean := sum / float64(trials)
+	norm := 0.0
+	if full > 0 {
+		norm = mean / full
+	}
+	return VariationTrial{Accuracy: mean, NormalizedAccuracy: norm}
+}
+
+// QuantizationOnly measures the accuracy of the ideal (noise-free)
+// quantized network — Figure 9's "Bound by #Levels" staircase.
+func QuantizationOnly(m *MLP, ds Dataset, rep device.Representation, spec device.CellSpec) VariationTrial {
+	full := m.Accuracy(ds)
+	ideal := ProgramNetwork(m, rep, spec, nil)
+	acc := ideal.Accuracy(ds)
+	norm := 0.0
+	if full > 0 {
+		norm = acc / full
+	}
+	return VariationTrial{Accuracy: acc, NormalizedAccuracy: norm}
+}
