@@ -117,6 +117,20 @@ func BenchmarkPlaceAndRouteLeNet(b *testing.B) {
 }
 
 func BenchmarkSpikingInference(b *testing.B) {
+	sn, train := deployBenchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sn.Classify(train.X[i%len(train.X)], ModeSpiking); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// deployBenchNet builds the shared MLP serving workload: the serial
+// BenchmarkSpikingInference loop and the BenchmarkEngine variants all
+// classify the same deployed network, so samples/op compare directly.
+func deployBenchNet(b *testing.B) (*SpikingNet, Dataset) {
+	b.Helper()
 	ds := SyntheticDataset(5, 300, 16, 4, 0.08)
 	train, _ := ds.Split(0.9)
 	net, err := TrainMLP(5, []int{16, 24, 4}, train, 20)
@@ -127,10 +141,36 @@ func BenchmarkSpikingInference(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sn.Classify(train.X[i%len(train.X)], ModeSpiking); err != nil {
-			b.Fatal(err)
-		}
-	}
+	return sn, train
 }
+
+// benchmarkEngine drives the batched engine from GOMAXPROCS submitter
+// goroutines — the concurrent-serving counterpart of the serial
+// BenchmarkSpikingInference loop above.
+func benchmarkEngine(b *testing.B, workers int) {
+	sn, train := deployBenchNet(b)
+	eng, err := NewEngine(sn, EngineConfig{Workers: workers, MaxBatch: 8, Mode: ModeSpiking})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	// Serving benchmarks need real concurrent load: enough in-flight
+	// clients that micro-batches fill on size rather than idling until
+	// the flush deadline.
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := eng.Classify(train.X[i%len(train.X)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkEngineClassify1(b *testing.B) { benchmarkEngine(b, 1) }
+func BenchmarkEngineClassify4(b *testing.B) { benchmarkEngine(b, 4) }
+func BenchmarkEngineClassify8(b *testing.B) { benchmarkEngine(b, 8) }

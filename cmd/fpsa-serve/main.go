@@ -1,0 +1,180 @@
+// Command fpsa-serve trains a small network, deploys it onto simulated
+// FPSA processing elements, and serves classifications over HTTP through
+// the concurrent batched inference engine.
+//
+// Usage:
+//
+//	fpsa-serve -addr :8080 -workers 4 -batch 8 -mode spiking
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/model    deployed-model metadata
+//	GET  /v1/stats    engine serving statistics (JSON)
+//	POST /v1/classify {"features":[...]} or {"batch":[[...],...]}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fpsa"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 7, "data/train/programming seed")
+	workers := flag.Int("workers", 4, "engine worker replicas")
+	batch := flag.Int("batch", 8, "micro-batch flush size")
+	flush := flag.Duration("flush", 500*time.Microsecond, "micro-batch flush deadline")
+	queue := flag.Int("queue", 1024, "request queue depth")
+	modeName := flag.String("mode", "spiking", "exec mode: reference, spiking, or noisy")
+	epochs := flag.Int("epochs", 40, "training epochs")
+	flag.Parse()
+
+	mode, err := parseMode(*modeName)
+	if err != nil {
+		fail(err)
+	}
+
+	ds := fpsa.SyntheticDataset(*seed, 900, 16, 4, 0.08)
+	train, test := ds.Split(2.0 / 3)
+	net, err := fpsa.TrainMLP(*seed, []int{16, 24, 4}, train, *epochs)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("trained MLP 16-24-4: float accuracy %.3f", net.Accuracy(test))
+
+	// The cache keeps re-deploys (e.g. future per-tenant engines) from
+	// re-synthesizing the same (model, config, seed).
+	cache := fpsa.NewDeployCache()
+	sn, err := cache.GetOrDeploy(fpsa.DeployKey{Model: "mlp-16-24-4", Dup: 1, Seed: *seed},
+		net.Deploy)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("deployed: %d core-op stages, sampling window %d", sn.Stages(), sn.Window())
+
+	eng, err := fpsa.NewEngine(sn, fpsa.EngineConfig{
+		Workers:       *workers,
+		MaxBatch:      *batch,
+		FlushInterval: *flush,
+		QueueDepth:    *queue,
+		Mode:          mode,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/model", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"model":   "mlp-16-24-4",
+			"classes": 4,
+			"inputs":  16,
+			"window":  sn.Window(),
+			"stages":  sn.Stages(),
+			"mode":    *modeName,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eng.Stats())
+	})
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Features []float64   `json:"features"`
+			Batch    [][]float64 `json:"batch"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch {
+		case req.Batch != nil:
+			labels, err := eng.ClassifyBatch(r.Context(), req.Batch)
+			if err != nil {
+				http.Error(w, err.Error(), classifyStatus(err))
+				return
+			}
+			writeJSON(w, map[string]any{"classes": labels})
+		case req.Features != nil:
+			label, err := eng.ClassifyCtx(r.Context(), req.Features)
+			if err != nil {
+				http.Error(w, err.Error(), classifyStatus(err))
+				return
+			}
+			writeJSON(w, map[string]any{"class": label})
+		default:
+			http.Error(w, `want "features" or "batch"`, http.StatusBadRequest)
+		}
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down: %s", eng.Stats())
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := eng.Close(); err != nil {
+			log.Printf("engine close: %v", err)
+		}
+	}()
+	log.Printf("serving on %s (%d workers, batch %d, flush %v)", *addr, *workers, *batch, *flush)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	<-done
+}
+
+// classifyStatus maps classification errors: a draining engine is the
+// server's fault, everything else (wrong length, bad values) the
+// client's.
+func classifyStatus(err error) int {
+	if errors.Is(err, fpsa.ErrEngineClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func parseMode(name string) (fpsa.ExecMode, error) {
+	switch name {
+	case "reference":
+		return fpsa.ModeReference, nil
+	case "spiking":
+		return fpsa.ModeSpiking, nil
+	case "noisy":
+		return fpsa.ModeSpikingNoisy, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want reference, spiking, or noisy)", name)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fpsa-serve:", err)
+	os.Exit(1)
+}

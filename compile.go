@@ -102,8 +102,9 @@ type PerfSummary struct {
 
 // String renders the summary.
 func (p PerfSummary) String() string {
-	return fmt.Sprintf("throughput %.4g samples/s, latency %.4g us, perf %.4g OPS (%.4g OPS/mm2), bounds peak %.3g / spatial %.3g / temporal %.3g",
+	return fmt.Sprintf("throughput %.4g samples/s, latency %.4g us, perf %.4g OPS (%.4g OPS/mm2), energy %.4g uJ/sample (%.4g mW), bounds peak %.3g / spatial %.3g / temporal %.3g",
 		p.ThroughputSPS, p.LatencyUS, p.PerfOPS, p.DensityOPSmm2,
+		p.EnergyUJ, p.PowerMW,
 		p.PeakOPS, p.SpatialBoundOPS, p.TemporalBoundOPS)
 }
 

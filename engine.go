@@ -1,0 +1,191 @@
+package fpsa
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fpsa/internal/serve"
+	"fpsa/internal/synth"
+)
+
+// ErrEngineClosed is returned by Engine methods after Close.
+var ErrEngineClosed = serve.ErrClosed
+
+// EngineConfig shapes a serving engine.
+type EngineConfig struct {
+	// Workers is the number of parallel execution replicas; each holds
+	// its own programmed simulation state. 0 means 1.
+	Workers int
+	// MaxBatch is the micro-batch flush size (0 = 8); FlushInterval is
+	// the micro-batch flush deadline (0 = 500µs).
+	MaxBatch      int
+	FlushInterval time.Duration
+	// QueueDepth bounds the request queue (0 = 1024).
+	QueueDepth int
+	// Mode selects the execution semantics (default ModeReference). In
+	// ModeSpikingNoisy each worker replica is programmed with its own
+	// deterministic variation derived from the SpikingNet seed.
+	Mode ExecMode
+}
+
+// DefaultEngineConfig returns a spiking-mode engine sized like the
+// paper's serving sweet spot: 4 workers, micro-batches of 8.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{Workers: 4, MaxBatch: 8, Mode: ModeSpiking}
+}
+
+// Engine serves a deployed SpikingNet concurrently: requests queue into
+// micro-batches (flushed on size or deadline) and a worker pool of
+// per-replica execution states classifies them in parallel. Construct
+// with NewEngine and Close when done. All methods are safe for
+// concurrent use.
+type Engine struct {
+	eng    *serve.Engine
+	window int
+}
+
+// NewEngine builds a serving engine over a deployed network. The
+// SpikingNet itself remains usable (and independent) afterwards.
+func NewEngine(sn *SpikingNet, cfg EngineConfig) (*Engine, error) {
+	mode, err := cfg.Mode.synthMode()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.New(sn.prog, serve.Options{
+		Workers:       cfg.Workers,
+		MaxBatch:      cfg.MaxBatch,
+		FlushInterval: cfg.FlushInterval,
+		QueueDepth:    cfg.QueueDepth,
+		Mode:          mode,
+		Seed:          sn.currentSeed() + 7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, window: sn.Window()}, nil
+}
+
+// Classify queues one feature vector (values in [0, 1]) and blocks until
+// a worker returns its argmax class.
+func (e *Engine) Classify(features []float64) (int, error) {
+	return e.ClassifyCtx(context.Background(), features)
+}
+
+// ClassifyCtx is Classify with queue admission and completion bounded by
+// ctx.
+func (e *Engine) ClassifyCtx(ctx context.Context, features []float64) (int, error) {
+	out, err := e.OutputsCtx(ctx, features)
+	if err != nil {
+		return 0, err
+	}
+	return synth.Argmax(out), nil
+}
+
+// Outputs queues one feature vector and returns the raw output spike
+// counts.
+func (e *Engine) Outputs(features []float64) ([]int, error) {
+	return e.OutputsCtx(context.Background(), features)
+}
+
+// OutputsCtx is Outputs bounded by ctx.
+func (e *Engine) OutputsCtx(ctx context.Context, features []float64) ([]int, error) {
+	return e.eng.Infer(ctx, synth.QuantizeInput(features, e.window))
+}
+
+// ClassifyBatch queues every sample at once — one call fills whole
+// micro-batches — and returns the positional argmax classes.
+func (e *Engine) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, error) {
+	ins := make([][]int, len(batch))
+	for i, f := range batch {
+		ins[i] = synth.QuantizeInput(f, e.window)
+	}
+	outs, err := e.eng.InferBatch(ctx, ins)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(outs))
+	for i, out := range outs {
+		labels[i] = synth.Argmax(out)
+	}
+	return labels, nil
+}
+
+// EngineStats is a snapshot of an engine's serving counters — the
+// served-traffic counterpart of PerfSummary.
+type EngineStats struct {
+	Requests      uint64
+	Errors        uint64
+	Shed          uint64
+	Batches       uint64
+	MeanBatch     float64
+	ThroughputSPS float64
+	P50LatencyUS  float64
+	P99LatencyUS  float64
+	QueueDepth    int
+	Workers       int
+	MaxBatch      int
+	UptimeS       float64
+}
+
+// String renders the snapshot.
+func (s EngineStats) String() string { return serve.Stats(s).String() }
+
+// Stats snapshots the engine's counters and latency percentiles.
+func (e *Engine) Stats() EngineStats { return EngineStats(e.eng.Stats()) }
+
+// Close drains queued requests, stops the workers and releases the
+// engine. Idempotent; Classify afterwards returns an error.
+func (e *Engine) Close() error { return e.eng.Close() }
+
+// DeployKey identifies one deployment for caching: a model (or trained
+// network) name, its duplication/config fingerprint, and the variation
+// seed.
+type DeployKey struct {
+	Model string
+	Dup   int
+	Seed  int64
+}
+
+func (k DeployKey) String() string {
+	return fmt.Sprintf("%s|dup=%d|seed=%d", k.Model, k.Dup, k.Seed)
+}
+
+// DeployCache memoizes deployed spiking networks by DeployKey so every
+// engine serving the same (model, config, seed) shares one synthesis.
+// Concurrent requests for the same key block on a single deploy; failed
+// deploys are retried. The zero value is not usable; call
+// NewDeployCache.
+type DeployCache struct {
+	progs *serve.Cache
+}
+
+// NewDeployCache returns an empty cache.
+func NewDeployCache() *DeployCache {
+	return &DeployCache{progs: serve.NewCache()}
+}
+
+// GetOrDeploy returns the cached SpikingNet for key, calling deploy at
+// most once per key. The returned net has its variation seed set from
+// the key.
+func (c *DeployCache) GetOrDeploy(key DeployKey, deploy func() (*SpikingNet, error)) (*SpikingNet, error) {
+	prog, err := c.progs.GetOrCompile(key.String(), func() (*synth.Program, error) {
+		sn, err := deploy()
+		if err != nil {
+			return nil, err
+		}
+		return sn.prog, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sn := &SpikingNet{prog: prog}
+	sn.SetSeed(key.Seed)
+	return sn, nil
+}
+
+// Len reports the number of cached deployments.
+func (c *DeployCache) Len() int { return c.progs.Len() }
+
+// Counters reports cache hits and misses since construction.
+func (c *DeployCache) Counters() (hits, misses int64) { return c.progs.Counters() }

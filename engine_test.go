@@ -1,0 +1,218 @@
+package fpsa
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// deployTestNet trains and deploys the small MLP workload shared by the
+// engine tests.
+func deployTestNet(t testing.TB) (*SpikingNet, Dataset) {
+	t.Helper()
+	ds := SyntheticDataset(21, 400, 12, 3, 0.08)
+	train, test := ds.Split(0.8)
+	net, err := TrainMLP(21, []int{12, 16, 3}, train, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := net.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sn, test
+}
+
+// TestEngineMatchesSerialClassify races N goroutines through one Engine
+// and requires every result to equal the serial Classify path.
+func TestEngineMatchesSerialClassify(t *testing.T) {
+	sn, test := deployTestNet(t)
+	const samples = 16
+	want := make([]int, samples)
+	for i := range want {
+		label, err := sn.Classify(test.X[i], ModeSpiking)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = label
+	}
+	eng, err := NewEngine(sn, EngineConfig{Workers: 4, MaxBatch: 4, Mode: ModeSpiking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < samples; i++ {
+				label, err := eng.Classify(test.X[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if label != want[i] {
+					errs <- fmt.Errorf("sample %d: engine %d, serial %d", i, label, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := eng.Stats()
+	if s.Requests != goroutines*samples {
+		t.Errorf("Requests = %d, want %d", s.Requests, goroutines*samples)
+	}
+	if s.Workers != 4 || s.Errors != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "throughput") {
+		t.Errorf("EngineStats.String() = %q", s.String())
+	}
+}
+
+func TestEngineClassifyBatch(t *testing.T) {
+	sn, test := deployTestNet(t)
+	eng, err := NewEngine(sn, EngineConfig{Workers: 2, MaxBatch: 4, Mode: ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	batch := test.X[:10]
+	labels, err := eng.ClassifyBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range batch {
+		want, err := sn.Classify(x, ModeReference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[i] != want {
+			t.Errorf("batch[%d] = %d, want %d", i, labels[i], want)
+		}
+	}
+}
+
+func TestEngineFlushDeadline(t *testing.T) {
+	sn, test := deployTestNet(t)
+	eng, err := NewEngine(sn, EngineConfig{
+		Workers:       1,
+		MaxBatch:      128, // a lone request can only leave via the deadline
+		FlushInterval: 2 * time.Millisecond,
+		Mode:          ModeReference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := eng.ClassifyCtx(ctx, test.X[0]); err != nil {
+		t.Fatalf("deadline flush never released the request: %v", err)
+	}
+}
+
+func TestNewEngineRejectsBadMode(t *testing.T) {
+	sn, _ := deployTestNet(t)
+	if _, err := NewEngine(sn, EngineConfig{Mode: ExecMode(9)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestDeployCache(t *testing.T) {
+	cache := NewDeployCache()
+	deploys := 0
+	key := DeployKey{Model: "mlp-test", Dup: 1, Seed: 5}
+	deploy := func() (*SpikingNet, error) {
+		deploys++
+		sn, _ := deployTestNet(t)
+		return sn, nil
+	}
+	a, err := cache.GetOrDeploy(key, deploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.GetOrDeploy(key, deploy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deploys != 1 {
+		t.Errorf("deploy ran %d times, want 1", deploys)
+	}
+	if hits, misses := cache.Counters(); hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d", cache.Len())
+	}
+	// Both handles run the shared program and agree.
+	ds := SyntheticDataset(22, 4, 12, 3, 0.08)
+	for _, x := range ds.X {
+		la, err := a.Classify(x, ModeReference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.Classify(x, ModeReference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la != lb {
+			t.Errorf("cached deployments disagree: %d vs %d", la, lb)
+		}
+	}
+}
+
+// TestNoisySequenceAdvances is the regression test for the fixed-RNG
+// bug: consecutive ModeSpikingNoisy runs must be able to draw different
+// variation (a Monte-Carlo loop measures distinct trials), while
+// re-seeding replays the exact sequence.
+func TestNoisySequenceAdvances(t *testing.T) {
+	sn, test := deployTestNet(t)
+	x := test.X[0]
+	const trials = 6
+	sn.SetSeed(5)
+	first := make([][]int, trials)
+	for i := range first {
+		out, err := sn.Outputs(x, ModeSpikingNoisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = out
+	}
+	differ := false
+	for i := 1; i < trials && !differ; i++ {
+		for j := range first[i] {
+			if first[i][j] != first[0][j] {
+				differ = true
+				break
+			}
+		}
+	}
+	if !differ {
+		t.Errorf("%d noisy trials produced identical outputs %v; RNG is not advancing", trials, first[0])
+	}
+	// Re-seeding reproduces the whole sequence.
+	sn.SetSeed(5)
+	for i := 0; i < trials; i++ {
+		out, err := sn.Outputs(x, ModeSpikingNoisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range out {
+			if out[j] != first[i][j] {
+				t.Fatalf("trial %d after re-seed: %v, want %v", i, out, first[i])
+			}
+		}
+	}
+}

@@ -18,6 +18,13 @@
 //	net, _ := fpsa.TrainMLP(1, []int{16, 24, 4}, ds, 40)
 //	sn, _ := net.Deploy()
 //	label, _ := sn.Classify(x, fpsa.ModeSpiking)
+//
+// or serve it under concurrent load through the batched engine:
+//
+//	eng, _ := fpsa.NewEngine(sn, fpsa.DefaultEngineConfig())
+//	defer eng.Close()
+//	label, _ = eng.Classify(x) // safe from any number of goroutines
+//	fmt.Println(eng.Stats())
 package fpsa
 
 import (

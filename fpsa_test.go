@@ -58,8 +58,10 @@ func TestCompileAndPerformance(t *testing.T) {
 	if p.ThroughputSPS <= 0 || p.PerfOPS <= 0 {
 		t.Errorf("performance: %+v", p)
 	}
-	if !strings.Contains(p.String(), "throughput") {
-		t.Error("summary String() malformed")
+	for _, field := range []string{"throughput", "uJ/sample", "mW"} {
+		if !strings.Contains(p.String(), field) {
+			t.Errorf("summary String() missing %q: %s", field, p.String())
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module fpsa
+
+go 1.24

@@ -3,6 +3,7 @@ package fpsa
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"fpsa/internal/device"
 	"fpsa/internal/synth"
@@ -106,11 +107,44 @@ const (
 // elements.
 type SpikingNet struct {
 	prog *synth.Program
+	mu   sync.Mutex
 	seed int64
+	// rng is the persistent programming-variation stream for
+	// ModeSpikingNoisy: seeded from seed, advanced one draw per noisy
+	// run, so consecutive runs see fresh variation while SetSeed
+	// reproduces the whole sequence.
+	rng *rand.Rand
 }
 
-// SetSeed fixes the programming-variation RNG for ModeSpikingNoisy.
-func (s *SpikingNet) SetSeed(seed int64) { s.seed = seed }
+// SetSeed fixes the programming-variation RNG for ModeSpikingNoisy and
+// restarts its sequence: after SetSeed(s) the net replays the same
+// series of noisy trials it produced the last time it was seeded with s.
+func (s *SpikingNet) SetSeed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seed = seed
+	s.rng = rand.New(rand.NewSource(seed + 7))
+}
+
+// currentSeed reads the variation seed under the lock.
+func (s *SpikingNet) currentSeed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seed
+}
+
+// noisyRng returns a fresh variation RNG for one noisy run, deriving its
+// seed from the persistent stream so every call draws different
+// variation (a Monte-Carlo loop measures distinct trials) yet the
+// sequence is a deterministic function of SetSeed.
+func (s *SpikingNet) noisyRng() *rand.Rand {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.seed + 7))
+	}
+	return rand.New(rand.NewSource(s.rng.Int63()))
+}
 
 // Classify quantizes features in [0,1] into the sampling window and runs
 // the deployed network, returning the argmax class.
@@ -122,21 +156,30 @@ func (s *SpikingNet) Classify(features []float64, mode ExecMode) (int, error) {
 	return synth.Argmax(out), nil
 }
 
+// synthMode maps the public mode onto the executor's.
+func (m ExecMode) synthMode() (synth.ExecMode, error) {
+	switch m {
+	case ModeReference:
+		return synth.ModeReference, nil
+	case ModeSpiking:
+		return synth.ModeSpiking, nil
+	case ModeSpikingNoisy:
+		return synth.ModeSpikingNoisy, nil
+	}
+	return 0, fmt.Errorf("fpsa: unknown exec mode %d", m)
+}
+
 // Outputs returns the raw output spike counts.
 func (s *SpikingNet) Outputs(features []float64, mode ExecMode) ([]int, error) {
 	window := s.prog.Params.SamplingWindow()
 	in := synth.QuantizeInput(features, window)
-	opts := synth.RunOptions{}
-	switch mode {
-	case ModeReference:
-		opts.Mode = synth.ModeReference
-	case ModeSpiking:
-		opts.Mode = synth.ModeSpiking
-	case ModeSpikingNoisy:
-		opts.Mode = synth.ModeSpikingNoisy
-		opts.Rng = rand.New(rand.NewSource(s.seed + 7))
-	default:
-		return nil, fmt.Errorf("fpsa: unknown exec mode %d", mode)
+	m, err := mode.synthMode()
+	if err != nil {
+		return nil, err
+	}
+	opts := synth.RunOptions{Mode: m}
+	if mode == ModeSpikingNoisy {
+		opts.Rng = s.noisyRng()
 	}
 	return s.prog.Run(in, opts)
 }

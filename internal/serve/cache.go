@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fpsa/internal/synth"
+)
+
+// Cache memoizes compiled programs by deployment key so engines serving
+// the same (model, config, seed) share one synthesis. Concurrent callers
+// of the same key block on a single build; distinct keys build in
+// parallel.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]*cacheEntry
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	prog *synth.Program
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*cacheEntry)}
+}
+
+// GetOrCompile returns the cached program for key, invoking build at most
+// once per key. A failed build is not cached, so a later call may retry.
+func (c *Cache) GetOrCompile(key string, build func() (*synth.Program, error)) (*synth.Program, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.prog, e.err = build()
+		if e.err != nil {
+			c.mu.Lock()
+			if c.m[key] == e {
+				delete(c.m, key)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return e.prog, e.err
+}
+
+// Len reports the number of cached deployments.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Counters reports cache hits and misses since construction.
+func (c *Cache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

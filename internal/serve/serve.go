@@ -1,0 +1,304 @@
+// Package serve implements a concurrent, micro-batched inference engine
+// over deployed spiking-network programs (synth.Program). The engine owns
+// a request queue, a batcher that flushes on batch size or deadline, and
+// a pool of workers each holding its own programmed synth.Executor —
+// cycle-level simulation state is never shared across goroutines, exactly
+// as each replica chip carries its own programmed crossbars. It is the
+// serving substrate behind the public fpsa.Engine API and cmd/fpsa-serve.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fpsa/internal/synth"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the worker-pool size; each worker programs its own
+	// Executor. 0 means 1.
+	Workers int
+	// MaxBatch flushes the accumulating micro-batch when it reaches this
+	// many requests. 0 means 8.
+	MaxBatch int
+	// FlushInterval flushes a non-empty micro-batch this long after its
+	// first request arrived, bounding queueing latency under light load.
+	// 0 means 500µs.
+	FlushInterval time.Duration
+	// QueueDepth bounds the request queue; Infer blocks (or honors its
+	// context) when the queue is full. 0 means 1024.
+	QueueDepth int
+	// Mode selects the execution semantics for every worker.
+	Mode synth.ExecMode
+	// Seed derives each worker's programming-variation RNG in
+	// ModeSpikingNoisy; each worker draws an independent sub-seed from
+	// one stream seeded here.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 500 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// ErrClosed is returned by Infer after Close.
+var ErrClosed = fmt.Errorf("serve: engine closed")
+
+// request is one queued classification. ctx lets workers shed requests
+// whose callers have already given up.
+type request struct {
+	ctx   context.Context
+	input []int
+	enq   time.Time
+	out   []int
+	err   error
+	done  chan struct{}
+}
+
+// Engine is a concurrent, micro-batched inference engine. Construct with
+// New, submit with Infer/InferBatch, and Close when done.
+type Engine struct {
+	opts    Options
+	reqs    chan *request
+	batches chan []*request
+	wg      sync.WaitGroup
+	stats   tracker
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds the engine: it programs opts.Workers executors over prog
+// (surfacing programming errors synchronously) and starts the batcher and
+// worker goroutines.
+func New(prog *synth.Program, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	execs := make([]*synth.Executor, opts.Workers)
+	// Worker seeds come from one stream rather than Seed+w so engines
+	// with adjacent seeds never share replica programming variation.
+	seeds := rand.New(rand.NewSource(opts.Seed))
+	for w := range execs {
+		ropts := synth.RunOptions{Mode: opts.Mode}
+		if opts.Mode == synth.ModeSpikingNoisy {
+			ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
+		}
+		ex, err := synth.NewExecutor(prog, ropts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: worker %d: %w", w, err)
+		}
+		execs[w] = ex
+	}
+	e := &Engine{
+		opts:    opts,
+		reqs:    make(chan *request, opts.QueueDepth),
+		batches: make(chan []*request, opts.Workers),
+	}
+	e.stats.start = time.Now()
+	e.wg.Add(1 + opts.Workers)
+	go e.batcher()
+	for _, ex := range execs {
+		go e.worker(ex)
+	}
+	return e, nil
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Infer queues one input vector of spike counts and blocks until a worker
+// classifies it or ctx is done. The returned slice is the program's raw
+// output counts.
+func (e *Engine) Infer(ctx context.Context, input []int) ([]int, error) {
+	r := &request{ctx: ctx, input: input, enq: time.Now(), done: make(chan struct{})}
+	if err := e.submit(ctx, r); err != nil {
+		return nil, err
+	}
+	select {
+	case <-r.done:
+		return r.out, r.err
+	case <-ctx.Done():
+		// The request is already queued; a worker will still run it, but
+		// the caller has moved on.
+		return nil, ctx.Err()
+	}
+}
+
+// InferBatch queues every input and waits for all results, so one call
+// naturally fills micro-batches. Results are positional; the first
+// request error (if any) is returned after all requests settle.
+func (e *Engine) InferBatch(ctx context.Context, inputs [][]int) ([][]int, error) {
+	rs := make([]*request, len(inputs))
+	for i, in := range inputs {
+		r := &request{ctx: ctx, input: in, enq: time.Now(), done: make(chan struct{})}
+		if err := e.submit(ctx, r); err != nil {
+			// Already-queued requests still run to completion; the
+			// caller has moved on, as in Infer's cancellation path.
+			return nil, err
+		}
+		rs[i] = r
+	}
+	outs := make([][]int, len(rs))
+	var firstErr error
+	for i, r := range rs {
+		select {
+		case <-r.done:
+			outs[i] = r.out
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// submit enqueues r, blocking while the queue is full. The RLock pairs
+// with Close's exclusive lock so no send can race the channel close.
+func (e *Engine) submit(ctx context.Context, r *request) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.reqs <- r:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains the queue, stops the workers, and releases the engine.
+// Queued requests still complete; subsequent Infer calls return
+// ErrClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.reqs)
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// batcher accumulates requests into micro-batches and flushes on size or
+// deadline. The deadline timer starts at each batch's first request, so a
+// lone request under light load waits at most FlushInterval.
+func (e *Engine) batcher() {
+	defer e.wg.Done()
+	defer close(e.batches)
+	timer := time.NewTimer(e.opts.FlushInterval)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var batch []*request
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.stats.recordBatch()
+		e.batches <- batch
+		batch = nil
+	}
+	for {
+		if len(batch) == 0 {
+			r, ok := <-e.reqs
+			if !ok {
+				return
+			}
+			batch = append(batch, r)
+			timer.Reset(e.opts.FlushInterval)
+			if len(batch) >= e.opts.MaxBatch {
+				stopTimer(timer)
+				flush()
+			}
+			continue
+		}
+		select {
+		case r, ok := <-e.reqs:
+			if !ok {
+				stopTimer(timer)
+				flush()
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) >= e.opts.MaxBatch {
+				stopTimer(timer)
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		}
+	}
+}
+
+// stopTimer stops t and drains a pending fire so the next Reset arms
+// cleanly.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// worker runs batches on its private executor until the batch channel
+// closes. Requests whose callers already gave up (context done while
+// queued) are shed without simulating, so client timeouts actually
+// relieve load.
+func (e *Engine) worker(ex *synth.Executor) {
+	defer e.wg.Done()
+	for batch := range e.batches {
+		for _, r := range batch {
+			if err := r.ctx.Err(); err != nil {
+				r.err = err
+				e.stats.shed.Add(1)
+				close(r.done)
+				continue
+			}
+			r.out, r.err = ex.Run(r.input)
+			if r.err != nil {
+				e.stats.errors.Add(1)
+			}
+			e.stats.recordDone(time.Since(r.enq))
+			close(r.done)
+		}
+	}
+}
+
+// QueueDepth reports how many requests are waiting in the queue right
+// now.
+func (e *Engine) QueueDepth() int { return len(e.reqs) }
+
+// Stats snapshots the engine's counters and latency percentiles.
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot()
+	s.Workers = e.opts.Workers
+	s.MaxBatch = e.opts.MaxBatch
+	s.QueueDepth = len(e.reqs)
+	return s
+}

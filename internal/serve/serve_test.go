@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpsa/internal/synth"
+	"fpsa/internal/trainer"
+)
+
+// buildProgram trains a small MLP and compiles it to an executable
+// program — the same path fpsa.TrainMLP + Deploy takes.
+func buildProgram(t testing.TB, seed int64, dims []int) *synth.Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := trainer.NewMLP(rng, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := trainer.SyntheticClusters(rng, 200, dims[0], dims[len(dims)-1], 0.08)
+	net.Train(rng, ds, trainer.TrainOptions{Epochs: 10})
+	opts := synth.DefaultOptions()
+	opts.Weights = net.WeightSource()
+	_, prog, err := synth.Compile(net.Graph("serve-test"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func randomInputs(prog *synth.Program, seed int64, n int) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	window := prog.Params.SamplingWindow()
+	ins := make([][]int, n)
+	for i := range ins {
+		in := make([]int, prog.InputSize)
+		for j := range in {
+			in[j] = rng.Intn(window + 1)
+		}
+		ins[i] = in
+	}
+	return ins
+}
+
+// TestEngineMatchesSerial is the -race integration test: N goroutines ×
+// M classifications against one Engine must reproduce the serial
+// executor bit for bit.
+func TestEngineMatchesSerial(t *testing.T) {
+	prog := buildProgram(t, 1, []int{12, 10, 3})
+	inputs := randomInputs(prog, 2, 16)
+
+	ex, err := synth.NewExecutor(prog, synth.RunOptions{Mode: synth.ModeSpiking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, len(inputs))
+	for i, in := range inputs {
+		if want[i], err = ex.Run(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng, err := New(prog, Options{Workers: 4, MaxBatch: 4, Mode: synth.ModeSpiking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, in := range inputs {
+				out, err := eng.Infer(context.Background(), in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range out {
+					if out[j] != want[i][j] {
+						errs <- fmt.Errorf("goroutine %d input %d: out[%d] = %d, want %d", g, i, j, out[j], want[i][j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := eng.Stats()
+	if s.Requests != goroutines*uint64(len(inputs)) {
+		t.Errorf("stats.Requests = %d, want %d", s.Requests, goroutines*len(inputs))
+	}
+	if s.Errors != 0 {
+		t.Errorf("stats.Errors = %d", s.Errors)
+	}
+	if s.Batches == 0 || s.MeanBatch <= 0 {
+		t.Errorf("batch stats empty: %+v", s)
+	}
+	if s.P99LatencyUS < s.P50LatencyUS {
+		t.Errorf("p99 %.1f < p50 %.1f", s.P99LatencyUS, s.P50LatencyUS)
+	}
+}
+
+// TestFlushDeadline proves a lone request under light load is released by
+// the deadline, not held hostage for a full batch.
+func TestFlushDeadline(t *testing.T) {
+	prog := buildProgram(t, 3, []int{8, 6, 2})
+	eng, err := New(prog, Options{
+		Workers:       1,
+		MaxBatch:      64, // never reached by one request
+		FlushInterval: 2 * time.Millisecond,
+		Mode:          synth.ModeReference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	in := randomInputs(prog, 4, 1)[0]
+	start := time.Now()
+	if _, err := eng.Infer(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("lone request took %v; deadline flush broken", d)
+	}
+	s := eng.Stats()
+	if s.Batches != 1 || s.Requests != 1 {
+		t.Errorf("stats = %+v, want 1 batch / 1 request", s)
+	}
+}
+
+// TestFlushOnBatchSize proves a full micro-batch flushes without waiting
+// for the deadline.
+func TestFlushOnBatchSize(t *testing.T) {
+	prog := buildProgram(t, 5, []int{8, 6, 2})
+	eng, err := New(prog, Options{
+		Workers:       2,
+		MaxBatch:      4,
+		FlushInterval: time.Minute, // deadline effectively disabled
+		Mode:          synth.ModeReference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	inputs := randomInputs(prog, 6, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.InferBatch(context.Background(), inputs)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("size-based flush never fired; requests stuck behind the deadline")
+	}
+	if s := eng.Stats(); s.Batches < 2 {
+		t.Errorf("Batches = %d, want ≥ 2 for 8 requests at MaxBatch 4", s.Batches)
+	}
+}
+
+func TestInferBatchMatchesSerial(t *testing.T) {
+	prog := buildProgram(t, 7, []int{10, 8, 3})
+	inputs := randomInputs(prog, 8, 12)
+	ex, err := synth.NewExecutor(prog, synth.RunOptions{Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(prog, Options{Workers: 3, MaxBatch: 4, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	outs, err := eng.InferBatch(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inputs {
+		want, err := ex.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if outs[i][j] != want[j] {
+				t.Fatalf("batch[%d][%d] = %d, want %d", i, j, outs[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestBadInputSurfacesError(t *testing.T) {
+	prog := buildProgram(t, 9, []int{8, 6, 2})
+	eng, err := New(prog, Options{Workers: 1, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Infer(context.Background(), make([]int, prog.InputSize+1)); err == nil {
+		t.Error("wrong-length input accepted")
+	}
+	if s := eng.Stats(); s.Errors != 1 {
+		t.Errorf("stats.Errors = %d, want 1", s.Errors)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	prog := buildProgram(t, 11, []int{8, 6, 2})
+	eng, err := New(prog, Options{Workers: 2, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if _, err := eng.Infer(context.Background(), make([]int, prog.InputSize)); err != ErrClosed {
+		t.Errorf("Infer after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestAbandonedRequestShed: a request whose caller gave up while it sat
+// in the batcher is dropped by the worker without simulating.
+func TestAbandonedRequestShed(t *testing.T) {
+	prog := buildProgram(t, 14, []int{8, 6, 2})
+	eng, err := New(prog, Options{
+		Workers:       1,
+		MaxBatch:      64,
+		FlushInterval: time.Minute, // parks the request until Close flushes
+		Mode:          synth.ModeReference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &request{ctx: ctx, input: make([]int, prog.InputSize), enq: time.Now(), done: make(chan struct{})}
+	if err := eng.submit(context.Background(), r); err != nil {
+		t.Fatal(err)
+	}
+	cancel() // abandon it while parked behind the one-minute deadline
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-r.done
+	if r.err != context.Canceled {
+		t.Fatalf("request err = %v, want context.Canceled", r.err)
+	}
+	s := eng.Stats()
+	if s.Shed != 1 || s.Requests != 0 {
+		t.Errorf("shed/requests = %d/%d, want 1/0: %s", s.Shed, s.Requests, s)
+	}
+}
+
+func TestInferHonorsContext(t *testing.T) {
+	prog := buildProgram(t, 13, []int{8, 6, 2})
+	eng, err := New(prog, Options{Workers: 1, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Infer(ctx, make([]int, prog.InputSize)); err != context.Canceled {
+		t.Errorf("Infer with canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestNoisyWorkersDeterministic: the engine programs each worker's
+// variation from Seed + worker index, so a one-worker noisy engine is a
+// deterministic function of its seed.
+func TestNoisyWorkersDeterministic(t *testing.T) {
+	prog := buildProgram(t, 15, []int{8, 6, 2})
+	in := randomInputs(prog, 16, 1)[0]
+	run := func(seed int64) []int {
+		eng, err := New(prog, Options{Workers: 1, Mode: synth.ModeSpikingNoisy, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		out, err := eng.Infer(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCacheGetOrCompile(t *testing.T) {
+	prog := buildProgram(t, 17, []int{8, 6, 2})
+	c := NewCache()
+	builds := 0
+	build := func() (*synth.Program, error) {
+		builds++
+		return prog, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := c.GetOrCompile("mlp|dup=1|seed=1", build)
+			if err != nil || got != prog {
+				t.Errorf("GetOrCompile = %v, %v", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	hits, misses := c.Counters()
+	if misses != 1 || hits != 7 {
+		t.Errorf("hits/misses = %d/%d, want 7/1", hits, misses)
+	}
+	// A failed build is retried, not cached.
+	fails := 0
+	_, err := c.GetOrCompile("bad", func() (*synth.Program, error) {
+		fails++
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("failed build returned nil error")
+	}
+	if _, err := c.GetOrCompile("bad", build); err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if fails != 1 || builds != 2 {
+		t.Errorf("fails=%d builds=%d, want 1/2", fails, builds)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Requests: 10, Batches: 2, MeanBatch: 5, Workers: 4}
+	for _, want := range []string{"served 10 requests", "2 batches", "4 workers"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("Stats.String() = %q missing %q", s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of an Engine's serving counters,
+// mirroring PerfSummary's role for the modeled hardware: what the engine
+// actually sustained rather than what the perf model predicts.
+type Stats struct {
+	// Requests is the number of completed classifications; Errors counts
+	// those that returned an error; Shed counts requests dropped without
+	// simulating because their caller's context was already done.
+	Requests uint64
+	Errors   uint64
+	Shed     uint64
+	// Batches is the number of flushed micro-batches; MeanBatch is
+	// Requests/Batches.
+	Batches   uint64
+	MeanBatch float64
+	// ThroughputSPS is completed requests per second of engine uptime.
+	ThroughputSPS float64
+	// P50LatencyUS and P99LatencyUS are queue-to-completion latency
+	// percentiles over a sliding window of recent requests.
+	P50LatencyUS float64
+	P99LatencyUS float64
+	// QueueDepth, Workers and MaxBatch describe the engine's current
+	// shape.
+	QueueDepth int
+	Workers    int
+	MaxBatch   int
+	UptimeS    float64
+}
+
+// String renders the snapshot.
+func (s Stats) String() string {
+	return fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us, queue %d, %d workers",
+		s.Requests, s.Errors, s.Shed, s.Batches, s.MeanBatch,
+		s.ThroughputSPS, s.P50LatencyUS, s.P99LatencyUS, s.QueueDepth, s.Workers)
+}
+
+// latencyWindow is the sliding sample window the percentiles are computed
+// over.
+const latencyWindow = 4096
+
+// tracker accumulates engine statistics. Counters are atomic; the latency
+// ring is mutex-guarded.
+type tracker struct {
+	start   time.Time
+	done    atomic.Uint64
+	errors  atomic.Uint64
+	shed    atomic.Uint64
+	batches atomic.Uint64
+
+	mu   sync.Mutex
+	ring [latencyWindow]float64 // microseconds
+	n    uint64                 // total recorded; ring index is n % latencyWindow
+}
+
+func (t *tracker) recordBatch() {
+	t.batches.Add(1)
+}
+
+func (t *tracker) recordDone(d time.Duration) {
+	t.done.Add(1)
+	us := float64(d) / float64(time.Microsecond)
+	t.mu.Lock()
+	t.ring[t.n%latencyWindow] = us
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *tracker) snapshot() Stats {
+	s := Stats{
+		Requests: t.done.Load(),
+		Errors:   t.errors.Load(),
+		Shed:     t.shed.Load(),
+		Batches:  t.batches.Load(),
+	}
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Requests) / float64(s.Batches)
+	}
+	uptime := time.Since(t.start).Seconds()
+	s.UptimeS = uptime
+	if uptime > 0 {
+		s.ThroughputSPS = float64(s.Requests) / uptime
+	}
+	t.mu.Lock()
+	n := t.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lat := append([]float64(nil), t.ring[:n]...)
+	t.mu.Unlock()
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		s.P50LatencyUS = percentile(lat, 0.50)
+		s.P99LatencyUS = percentile(lat, 0.99)
+	}
+	return s
+}
+
+// percentile reads the p-quantile from sorted (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

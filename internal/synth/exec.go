@@ -80,88 +80,35 @@ type RunOptions struct {
 }
 
 // Run executes the program on one input vector of spike counts in [0, Γ]
-// and returns the output counts at the network's output refs.
+// and returns the output counts at the network's output refs. Each call
+// programs a fresh set of PEs (in ModeSpikingNoisy, drawing fresh
+// variation from opts.Rng); serving loops that classify many samples
+// should build one Executor instead and reuse its programmed state.
 func (p *Program) Run(input []int, opts RunOptions) ([]int, error) {
+	// Validate before programming so a bad input neither costs a full
+	// programming pass nor advances opts.Rng's variation stream.
+	if err := p.validateInput(input); err != nil {
+		return nil, err
+	}
+	ex, err := NewExecutor(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(input)
+}
+
+// validateInput checks the input vector's length and window range.
+func (p *Program) validateInput(input []int) error {
 	if len(input) != p.InputSize {
-		return nil, fmt.Errorf("synth: input length %d, want %d", len(input), p.InputSize)
+		return fmt.Errorf("synth: input length %d, want %d", len(input), p.InputSize)
 	}
 	window := p.Params.SamplingWindow()
 	for i, v := range input {
 		if v < 0 || v > window {
-			return nil, fmt.Errorf("synth: input[%d] = %d outside [0,%d]", i, v, window)
+			return fmt.Errorf("synth: input[%d] = %d outside [0,%d]", i, v, window)
 		}
 	}
-	spec := opts.Spec
-	if spec.Bits == 0 {
-		spec = device.Cell4Bit
-	}
-	if opts.Mode != ModeSpikingNoisy {
-		spec.Sigma = 0
-	} else if opts.Rng == nil {
-		return nil, fmt.Errorf("synth: ModeSpikingNoisy requires RunOptions.Rng")
-	}
-	cfg := pe.Config{
-		Params: p.Params,
-		Spec:   spec,
-		Rep:    device.NewAdd(spec, p.Params.CellsPerWeight),
-	}
-	// Weight groups are shared across stages (conv positions): program
-	// each group's PE once, exactly as the chip holds one physical
-	// crossbar per group copy.
-	units := make(map[int]*pe.PE, len(p.Graph.Groups))
-	unitFor := func(groupID int) (*pe.PE, error) {
-		if u, ok := units[groupID]; ok {
-			return u, nil
-		}
-		grp := p.Graph.Groups[groupID]
-		c := cfg
-		c.Eta = grp.Eta
-		u := pe.New(c)
-		var rng *rand.Rand
-		if opts.Mode == ModeSpikingNoisy {
-			rng = opts.Rng
-		}
-		if err := u.Program(grp.Weights, rng); err != nil {
-			return nil, err
-		}
-		units[groupID] = u
-		return u, nil
-	}
-	outputs := make([][]int, len(p.Stages))
-	for si, st := range p.Stages {
-		grp := p.Graph.Groups[st.GroupID]
-		x := make([]int, len(st.InRefs))
-		for r, ref := range st.InRefs {
-			switch {
-			case ref.Stage == ExternalStage:
-				x[r] = input[ref.Col]
-			case ref.Stage == ZeroStage:
-				x[r] = 0
-			case ref.Stage >= 0 && ref.Stage < si:
-				x[r] = outputs[ref.Stage][ref.Col]
-			default:
-				return nil, fmt.Errorf("synth: stage %d row %d references stage %d", si, r, ref.Stage)
-			}
-		}
-		unit, err := unitFor(st.GroupID)
-		if err != nil {
-			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
-		}
-		out, err := runStageOn(unit, x, opts)
-		if err != nil {
-			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
-		}
-		outputs[si] = out
-	}
-	result := make([]int, len(p.OutputRefs))
-	for i, ref := range p.OutputRefs {
-		if ref.Stage == ExternalStage {
-			result[i] = input[ref.Col]
-			continue
-		}
-		result[i] = outputs[ref.Stage][ref.Col]
-	}
-	return result, nil
+	return nil
 }
 
 // runStageOn evaluates one core-op on a programmed PE.

@@ -1,0 +1,126 @@
+package synth
+
+import (
+	"fmt"
+
+	"fpsa/internal/device"
+	"fpsa/internal/pe"
+)
+
+// Executor is a reusable execution context over a Program: every weight
+// group's PE is programmed exactly once, at construction, and reused
+// across Run calls — the way the physical chip programs its crossbars
+// once at deployment and then streams samples through them. Program.Run
+// re-programs on every call; for a serving loop the Executor amortizes
+// that away.
+//
+// An Executor is NOT safe for concurrent use: the per-stage input rows
+// and output table are reused between runs, and in noisy mode the
+// programmed variation is the executor's identity. Concurrent callers
+// must hold one Executor per goroutine (see internal/serve), which also
+// matches the hardware — each replica chip carries its own programming
+// variation.
+type Executor struct {
+	prog  *Program
+	opts  RunOptions
+	units map[int]*pe.PE
+	// ins[si] is stage si's input row, sized once at construction and
+	// refilled each run; scratch[si] holds stage si's latest output for
+	// downstream refs.
+	ins     [][]int
+	scratch [][]int
+}
+
+// NewExecutor programs every weight group of p under opts and returns the
+// reusable execution state. In ModeSpikingNoisy the supplied Rng draws
+// each cell's programming variation once, in stage order — the same draw
+// order Program.Run uses, so a fresh Executor reproduces a single Run
+// bit for bit.
+func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
+	spec := opts.Spec
+	if spec.Bits == 0 {
+		spec = device.Cell4Bit
+	}
+	if opts.Mode != ModeSpikingNoisy {
+		spec.Sigma = 0
+	} else if opts.Rng == nil {
+		return nil, fmt.Errorf("synth: ModeSpikingNoisy requires RunOptions.Rng")
+	}
+	opts.Spec = spec
+	cfg := pe.Config{
+		Params: p.Params,
+		Spec:   spec,
+		Rep:    device.NewAdd(spec, p.Params.CellsPerWeight),
+	}
+	ex := &Executor{
+		prog:    p,
+		opts:    opts,
+		units:   make(map[int]*pe.PE, len(p.Graph.Groups)),
+		ins:     make([][]int, len(p.Stages)),
+		scratch: make([][]int, len(p.Stages)),
+	}
+	for si, st := range p.Stages {
+		ex.ins[si] = make([]int, len(st.InRefs))
+	}
+	// Weight groups are shared across stages (conv positions): program
+	// each group's PE once, in first-use stage order, exactly as the chip
+	// holds one physical crossbar per group copy.
+	for si, st := range p.Stages {
+		if _, ok := ex.units[st.GroupID]; ok {
+			continue
+		}
+		grp := p.Graph.Groups[st.GroupID]
+		c := cfg
+		c.Eta = grp.Eta
+		u := pe.New(c)
+		if err := u.Program(grp.Weights, opts.Rng); err != nil {
+			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
+		}
+		ex.units[st.GroupID] = u
+	}
+	return ex, nil
+}
+
+// Mode returns the execution mode the Executor was programmed for.
+func (e *Executor) Mode() ExecMode { return e.opts.Mode }
+
+// Run executes the program on one input vector of spike counts in [0, Γ]
+// and returns the output counts at the network's output refs. The
+// returned slice is freshly allocated; per-stage input rows are reused
+// across runs.
+func (e *Executor) Run(input []int) ([]int, error) {
+	p := e.prog
+	if err := p.validateInput(input); err != nil {
+		return nil, err
+	}
+	for si, st := range p.Stages {
+		grp := p.Graph.Groups[st.GroupID]
+		x := e.ins[si]
+		for r, ref := range st.InRefs {
+			switch {
+			case ref.Stage == ExternalStage:
+				x[r] = input[ref.Col]
+			case ref.Stage == ZeroStage:
+				x[r] = 0
+			case ref.Stage >= 0 && ref.Stage < si:
+				x[r] = e.scratch[ref.Stage][ref.Col]
+			default:
+				return nil, fmt.Errorf("synth: stage %d row %d references stage %d", si, r, ref.Stage)
+			}
+		}
+		out, err := runStageOn(e.units[st.GroupID], x, e.opts)
+		if err != nil {
+			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
+		}
+		e.scratch[si] = out
+	}
+	result := make([]int, len(p.OutputRefs))
+	for i, ref := range p.OutputRefs {
+		if ref.Stage == ExternalStage {
+			result[i] = input[ref.Col]
+			continue
+		}
+		result[i] = e.scratch[ref.Stage][ref.Col]
+	}
+	return result, nil
+}

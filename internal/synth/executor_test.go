@@ -1,0 +1,80 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExecutorReuseMatchesRun proves the program-once/run-many executor
+// reproduces the per-call Program.Run path across repeated runs — the
+// property the serving engine's per-worker replicas rely on.
+func TestExecutorReuseMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	g, ws := buildTestMLP(rng, []int{16, 12, 4})
+	opts := DefaultOptions()
+	opts.Weights = ws
+	_, prog, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := opts.Params.SamplingWindow()
+	for _, mode := range []ExecMode{ModeReference, ModeSpiking} {
+		ex, err := NewExecutor(prog, RunOptions{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			in := randomInput(rng, 16, window)
+			want, err := prog.Run(in, RunOptions{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ex.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("mode %d trial %d: executor %v, Run %v", mode, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestExecutorNoisyMatchesRun: an executor programmed from the same rng
+// seed draws the same variation as one Program.Run call.
+func TestExecutorNoisyMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	g, ws := buildTestMLP(rng, []int{12, 8, 3})
+	opts := DefaultOptions()
+	opts.Weights = ws
+	_, prog, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomInput(rng, 12, opts.Params.SamplingWindow())
+	want, err := prog.Run(in, RunOptions{Mode: ModeSpikingNoisy, Rng: rand.New(rand.NewSource(99))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(prog, RunOptions{Mode: ModeSpikingNoisy, Rng: rand.New(rand.NewSource(99))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ex.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("noisy executor %v, Run %v", got, want)
+		}
+	}
+	if _, err := NewExecutor(prog, RunOptions{Mode: ModeSpikingNoisy}); err == nil {
+		t.Error("noisy executor without rng accepted")
+	}
+	if ex.Mode() != ModeSpikingNoisy {
+		t.Errorf("Mode = %d", ex.Mode())
+	}
+}
