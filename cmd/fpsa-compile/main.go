@@ -1,18 +1,22 @@
 // Command fpsa-compile runs the software stack on one benchmark model:
 // neural synthesis, PE allocation, netlist generation, performance
 // modeling, and (optionally, for small deployments) real placement &
-// routing.
+// routing — multi-seed, parallel, and optionally served from the
+// content-addressed deployment cache.
 //
 // Usage:
 //
 //	fpsa-compile -model LeNet -dup 4
 //	fpsa-compile -model MLP-500-100 -pnr
+//	fpsa-compile -model LeNet -dup 4 -pnr -seeds 4 -jobs 4
+//	fpsa-compile -model LeNet -dup 4 -pnr -cache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fpsa"
 )
@@ -22,7 +26,13 @@ func main() {
 	dup := flag.Int("dup", 1, "duplication degree")
 	pnr := flag.Bool("pnr", false, "run simulated-annealing placement and PathFinder routing")
 	seed := flag.Int64("seed", 1, "placement seed")
+	seeds := flag.Int("seeds", 1, "annealing portfolio size (independent placement seeds)")
+	jobs := flag.Int("jobs", 0, "worker goroutines for placement and routing (0 = all cores)")
+	cache := flag.Bool("cache", false, "deploy through a content-addressed cache and show a second, cached deployment (implies -pnr)")
 	flag.Parse()
+	if *cache {
+		*pnr = true
+	}
 
 	m, err := fpsa.LoadBenchmark(*model)
 	if err != nil {
@@ -31,7 +41,11 @@ func main() {
 	fmt.Printf("model %s: %d weights, %d ops/sample, %d graph nodes\n",
 		m.Name(), m.Weights(), m.Ops(), m.Layers())
 
-	d, err := fpsa.Compile(m, fpsa.Config{Duplication: *dup, Seed: *seed})
+	cfg := fpsa.Config{Duplication: *dup, Seed: *seed, PlacementSeeds: *seeds, Parallelism: *jobs}
+	if *cache {
+		cfg.Cache = fpsa.NewCompileCache(0)
+	}
+	d, err := fpsa.Compile(m, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -47,16 +61,34 @@ func main() {
 	fmt.Printf("modeled: %s\n", p)
 
 	if *pnr {
+		start := time.Now()
 		stats, err := d.PlaceAndRoute()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("place&route: %s\n", stats)
+		fmt.Printf("place&route: %s (%.2fs)\n", stats, time.Since(start).Seconds())
 		routed, err := d.PerformanceWithHops(int(stats.MeanHops + 0.5))
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("with routed hops: %s\n", routed)
+
+		if *cache {
+			// Redeploy the same model and config: the cache must serve
+			// the artifacts without annealing or routing again.
+			d2, err := fpsa.Compile(m, cfg)
+			if err != nil {
+				fail(err)
+			}
+			start = time.Now()
+			cached, err := d2.PlaceAndRoute()
+			if err != nil {
+				fail(err)
+			}
+			hits, misses := cfg.Cache.Counters()
+			fmt.Printf("redeploy:    %s (%.4fs, cache %d hit / %d miss)\n",
+				cached, time.Since(start).Seconds(), hits, misses)
+		}
 	}
 }
 

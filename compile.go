@@ -2,9 +2,9 @@ package fpsa
 
 import (
 	"fmt"
-	"math/rand"
 
 	"fpsa/internal/bitstream"
+	"fpsa/internal/compilecache"
 	"fpsa/internal/coreop"
 	"fpsa/internal/device"
 	"fpsa/internal/fabric"
@@ -25,6 +25,25 @@ type Config struct {
 	Tracks int
 	// Seed drives placement annealing.
 	Seed int64
+	// PlacementSeeds is the size of the multi-seed annealing portfolio
+	// PlaceAndRoute runs (0 or 1 = a single run, the classic behavior).
+	// Portfolio run i anneals independently with seed Seed+1+i; runs
+	// whose checkpoint cost falls a margin behind the portfolio's
+	// best-so-far are cancelled early (see place.PortfolioOptions), and
+	// the cheapest placement wins deterministically.
+	PlacementSeeds int
+	// Parallelism bounds the worker goroutines PlaceAndRoute uses for
+	// both the annealing portfolio and per-iteration net routing
+	// (0 = GOMAXPROCS). It changes wall-clock only, never results, and is
+	// therefore excluded from the deployment-cache key.
+	Parallelism int
+	// Cache, when non-nil, memoizes placement/routing/bitstream artifacts
+	// content-addressed by the model structure and this Config: a
+	// cache-hit PlaceAndRoute skips both phases entirely and Bitstream is
+	// generated at most once per deployment key. Share one cache across
+	// every Compile in the process (see NewCompileCache and
+	// DeployCache.Artifacts).
+	Cache *CompileCache
 }
 
 // DefaultConfig returns a 1× deployment on the default fabric.
@@ -40,10 +59,15 @@ type Deployment struct {
 	params device.Params
 
 	// Last place & route artifacts (set by PlaceAndRoute), consumed by
-	// Bitstream.
+	// Bitstream. lastArtifacts additionally memoizes the generated
+	// bitstream — per deployment when uncached, shared across every
+	// deployment of the key when a cache supplied the artifacts.
+	// Generation is deterministic, so repeat Bitstream calls returning
+	// the memo are indistinguishable from regeneration.
 	lastChip      fabric.Chip
 	lastPlacement *place.Placement
 	lastRoute     *route.Result
+	lastArtifacts *compilecache.Artifacts
 }
 
 // Compile synthesizes, allocates and maps a model.
@@ -53,6 +77,9 @@ func Compile(m Model, cfg Config) (*Deployment, error) {
 	}
 	if cfg.Duplication <= 0 {
 		cfg.Duplication = 1
+	}
+	if cfg.PlacementSeeds <= 0 {
+		cfg.PlacementSeeds = 1
 	}
 	params := device.Params45nm
 	co, err := synth.Synthesize(m.graph, synth.Options{Params: params})
@@ -149,14 +176,28 @@ type PRStats struct {
 	MeanHops       float64
 	MaxHops        int
 	ChannelsNeeded int
+	// PlacementMoves sums annealing moves across the whole portfolio (the
+	// work spent); WirelengthCost is the winning placement's exact cost.
 	PlacementMoves int
 	WirelengthCost float64
+	// Restarts is the portfolio size the placement was chosen from.
+	Restarts int
+	// FromCache reports that the deployment cache supplied the artifacts
+	// and no annealing or routing ran.
+	FromCache bool
 }
 
 // String renders the stats.
 func (s PRStats) String() string {
-	return fmt.Sprintf("chip %dx%d, routed converged=%v in %d iters, hops mean %.1f max %d, channels needed %d",
+	out := fmt.Sprintf("chip %dx%d, routed converged=%v in %d iters, hops mean %.1f max %d, channels needed %d",
 		s.ChipSide, s.ChipSide, s.Converged, s.Iterations, s.MeanHops, s.MaxHops, s.ChannelsNeeded)
+	if s.Restarts > 1 {
+		out += fmt.Sprintf(", portfolio %d seeds", s.Restarts)
+	}
+	if s.FromCache {
+		out += " (cached)"
+	}
+	return out
 }
 
 // BitstreamInfo summarizes a generated, verified FPSA configuration.
@@ -184,12 +225,27 @@ func (d *Deployment) Bitstream() (BitstreamInfo, error) {
 	if d.lastRoute == nil {
 		return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
 	}
-	cfg, err := bitstream.Generate(d.nl, d.lastPlacement, d.lastRoute, d.lastChip)
+	gen := func() (*bitstream.Config, error) {
+		cfg, err := bitstream.Generate(d.nl, d.lastPlacement, d.lastRoute, d.lastChip)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Verify(d.nl); err != nil {
+			return nil, fmt.Errorf("fpsa: generated configuration failed verification: %w", err)
+		}
+		return cfg, nil
+	}
+	var cfg *bitstream.Config
+	var err error
+	if d.lastArtifacts != nil {
+		// Cached deployments generate (and verify) the configuration at
+		// most once per key; every later Bitstream call shares it.
+		cfg, err = d.lastArtifacts.Bitstream(gen)
+	} else {
+		cfg, err = gen()
+	}
 	if err != nil {
 		return BitstreamInfo{}, err
-	}
-	if err := cfg.Verify(d.nl); err != nil {
-		return BitstreamInfo{}, fmt.Errorf("fpsa: generated configuration failed verification: %w", err)
 	}
 	return BitstreamInfo{
 		ProgrammedCells: cfg.CellCount(),
@@ -199,33 +255,77 @@ func (d *Deployment) Bitstream() (BitstreamInfo, error) {
 	}, nil
 }
 
-// PlaceAndRoute runs simulated-annealing placement and PathFinder routing
-// on the deployment's netlist and reports the measured communication
-// geometry. Intended for small and medium deployments (hundreds of
-// blocks); the large zoo models use the calibrated hop estimate instead.
+// PlaceAndRoute runs multi-seed simulated-annealing placement and
+// parallel PathFinder routing on the deployment's netlist and reports the
+// measured communication geometry. Config.PlacementSeeds sets the
+// annealing portfolio size and Config.Parallelism the worker count; the
+// result is deterministic for a fixed (Seed, PlacementSeeds) regardless
+// of Parallelism. With Config.Cache set, the artifacts are served
+// content-addressed — a repeat deployment of the same model and Config
+// skips placement and routing entirely (PRStats.FromCache). Intended for
+// small and medium deployments (hundreds of blocks); the large zoo models
+// use the calibrated hop estimate instead.
 func (d *Deployment) PlaceAndRoute() (PRStats, error) {
+	var art *compilecache.Artifacts
+	var hit bool
+	var err error
+	if d.cfg.Cache != nil {
+		art, hit, err = d.cfg.Cache.c.GetOrCompute(d.cacheKey(), d.placeAndRoute)
+	} else {
+		art, err = d.placeAndRoute()
+	}
+	if err != nil {
+		return PRStats{}, err
+	}
+	d.lastChip, d.lastPlacement, d.lastRoute, d.lastArtifacts = art.Chip, art.Placement, art.Route, art
+	return PRStats{
+		ChipSide:       art.Chip.W,
+		Converged:      art.Route.Converged,
+		Iterations:     art.Route.Iterations,
+		MeanHops:       art.Route.MeanHops(),
+		MaxHops:        art.Route.MaxHops(),
+		ChannelsNeeded: art.Route.MaxOccupancy,
+		PlacementMoves: art.PlacementMoves,
+		WirelengthCost: art.WirelengthCost,
+		Restarts:       art.Restarts,
+		FromCache:      hit,
+	}, nil
+}
+
+// placeAndRoute is the uncached compile back end: portfolio placement
+// then routing, packaged as cacheable artifacts.
+func (d *Deployment) placeAndRoute() (*compilecache.Artifacts, error) {
 	chip, err := fabric.SizeFor(len(d.nl.Blocks), d.cfg.Tracks, d.params)
 	if err != nil {
-		return PRStats{}, err
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(d.cfg.Seed + 1))
-	pl, stats, err := place.Anneal(d.nl, chip, rng, place.Options{})
+	pl, pstats, err := place.Portfolio(d.nl, chip, d.cfg.Seed+1, place.PortfolioOptions{
+		Runs:    d.cfg.PlacementSeeds,
+		Workers: d.cfg.Parallelism,
+	})
 	if err != nil {
-		return PRStats{}, err
+		return nil, err
 	}
-	res, err := route.Route(d.nl, pl, chip, route.Options{})
+	res, err := route.Route(d.nl, pl, chip, route.Options{Workers: d.cfg.Parallelism})
 	if err != nil {
-		return PRStats{}, err
+		return nil, err
 	}
-	d.lastChip, d.lastPlacement, d.lastRoute = chip, pl, res
-	return PRStats{
-		ChipSide:       chip.W,
-		Converged:      res.Converged,
-		Iterations:     res.Iterations,
-		MeanHops:       res.MeanHops(),
-		MaxHops:        res.MaxHops(),
-		ChannelsNeeded: res.MaxOccupancy,
-		PlacementMoves: stats.Moves,
-		WirelengthCost: stats.FinalCost,
+	return &compilecache.Artifacts{
+		Chip:           chip,
+		Placement:      pl,
+		Route:          res,
+		PlacementMoves: pstats.TotalMoves,
+		WirelengthCost: pstats.Best().FinalCost,
+		Restarts:       len(pstats.Runs),
 	}, nil
+}
+
+// cacheKey is the deployment's content address: the model-structure
+// fingerprint plus every Config field that changes compile output.
+// Parallelism is deliberately absent — it never changes results — so one
+// cache serves machines of any size.
+func (d *Deployment) cacheKey() compilecache.Key {
+	return compilecache.KeyFrom(d.model.graph.Fingerprint(),
+		fmt.Sprintf("dup=%d|tracks=%d|seed=%d|pseeds=%d",
+			d.cfg.Duplication, d.cfg.Tracks, d.cfg.Seed, d.cfg.PlacementSeeds))
 }

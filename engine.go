@@ -154,16 +154,24 @@ func (k DeployKey) String() string {
 // DeployCache memoizes deployed spiking networks by DeployKey so every
 // engine serving the same (model, config, seed) shares one synthesis.
 // Concurrent requests for the same key block on a single deploy; failed
-// deploys are retried. The zero value is not usable; call
-// NewDeployCache.
+// deploys are retried. It also carries a CompileCache (see Artifacts) so
+// a serving stack shares one place-and-route artifact store as well. The
+// zero value is not usable; call NewDeployCache.
 type DeployCache struct {
-	progs *serve.Cache
+	progs     *serve.Cache
+	artifacts *CompileCache
 }
 
 // NewDeployCache returns an empty cache.
 func NewDeployCache() *DeployCache {
-	return &DeployCache{progs: serve.NewCache()}
+	return &DeployCache{progs: serve.NewCache(), artifacts: NewCompileCache(0)}
 }
+
+// Artifacts returns the cache's compiled-deployment store. Pass it as
+// Config.Cache to every Compile backing this cache's deployments so
+// placement, routing and bitstream generation also run at most once per
+// (model, Config) across the serving fleet.
+func (c *DeployCache) Artifacts() *CompileCache { return c.artifacts }
 
 // GetOrDeploy returns the cached SpikingNet for key, calling deploy at
 // most once per key. The returned net has its variation seed set from

@@ -25,6 +25,11 @@
 //	defer eng.Close()
 //	label, _ = eng.Classify(x) // safe from any number of goroutines
 //	fmt.Println(eng.Stats())
+//
+// Placement & routing scale across cores and never repeat work: set
+// Config.PlacementSeeds/Parallelism for a multi-seed annealing portfolio
+// and parallel routing, and Config.Cache (see NewCompileCache) to serve
+// repeat deployments from a content-addressed artifact cache.
 package fpsa
 
 import (

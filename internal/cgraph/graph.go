@@ -1,6 +1,9 @@
 package cgraph
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"fmt"
+)
 
 // Node is one placed operation in a graph.
 type Node struct {
@@ -144,6 +147,26 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a SHA-256 digest of the graph's full structure —
+// its name, every node's name, operation (concrete type and parameters),
+// output shape, and input wiring — so two graphs digest equal exactly
+// when the compiler would treat them identically. The deployment cache
+// uses it as the model half of its content address.
+func (g *Graph) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "graph %q %d\n", g.Name, len(g.nodes))
+	for _, n := range g.nodes {
+		fmt.Fprintf(h, "node %d %q %s %#v %v [", n.ID, n.Name, n.Op.Kind(), n.Op, n.OutShape)
+		for _, in := range n.Inputs {
+			fmt.Fprintf(h, "%d ", in.ID)
+		}
+		fmt.Fprint(h, "]\n")
+	}
+	var d [sha256.Size]byte
+	copy(d[:], h.Sum(nil))
+	return d
 }
 
 // Stats summarizes a graph for reports.

@@ -1,0 +1,160 @@
+// Package compilecache is the content-addressed deployment cache behind
+// fpsa.CompileCache: place-and-route and bitstream artifacts keyed by the
+// SHA-256 of (model structure, compile configuration), bounded by LRU
+// eviction. Placement and routing dominate cold-start compile latency, so
+// a serving fleet that redeploys the same model under the same Config
+// must never repeat them — concurrent requests for one key block on a
+// single computation (singleflight), distinct keys compute in parallel,
+// and because both the annealing portfolio and the parallel router are
+// deterministic, a cached artifact is byte-identical to a recompute.
+package compilecache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"fpsa/internal/bitstream"
+	"fpsa/internal/fabric"
+	"fpsa/internal/place"
+	"fpsa/internal/route"
+)
+
+// Key is a content address: the digest of a model fingerprint and the
+// canonical configuration string.
+type Key [sha256.Size]byte
+
+// String renders the address in hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyFrom derives the content address for one (model, config) pair. The
+// config string must canonically encode every Config field that changes
+// compile output (duplication, tracks, seed, portfolio size) and nothing
+// that does not (parallelism).
+func KeyFrom(model [sha256.Size]byte, config string) Key {
+	h := sha256.New()
+	h.Write(model[:])
+	h.Write([]byte{0})
+	h.Write([]byte(config))
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// Artifacts is one deployment's cached place-and-route output plus its
+// lazily generated bitstream. Artifacts are shared across deployments and
+// treated as immutable once computed.
+type Artifacts struct {
+	Chip      fabric.Chip
+	Placement *place.Placement
+	Route     *route.Result
+
+	// Annealing summary for stats reporting.
+	PlacementMoves int
+	WirelengthCost float64
+	Restarts       int
+
+	bitsOnce sync.Once
+	bits     *bitstream.Config
+	bitsErr  error
+}
+
+// Bitstream memoizes gen: the first caller generates (and verifies) the
+// configuration, every later caller for the same artifacts shares it.
+// Generation is deterministic, so a failure is cached as final.
+func (a *Artifacts) Bitstream(gen func() (*bitstream.Config, error)) (*bitstream.Config, error) {
+	a.bitsOnce.Do(func() { a.bits, a.bitsErr = gen() })
+	return a.bits, a.bitsErr
+}
+
+// DefaultMaxEntries bounds a Cache built with maxEntries <= 0.
+const DefaultMaxEntries = 128
+
+// Cache is the LRU-bounded artifact store. The zero value is not usable;
+// call New. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*entry
+	lru     *list.List // front = most recently used; element values are *entry
+
+	hits, misses atomic.Int64
+}
+
+type entry struct {
+	key  Key
+	elem *list.Element
+	done chan struct{}
+	art  *Artifacts
+	err  error
+}
+
+// New returns an empty cache holding at most maxEntries artifacts
+// (<= 0 selects DefaultMaxEntries).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{max: maxEntries, entries: make(map[Key]*entry), lru: list.New()}
+}
+
+// GetOrCompute returns the artifacts for k, invoking compute at most once
+// per key across concurrent callers. hit reports whether the artifacts
+// (or the in-flight computation it joined) already existed. A failed
+// compute is not cached; a later call retries.
+func (c *Cache) GetOrCompute(k Key, compute func() (*Artifacts, error)) (art *Artifacts, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits.Add(1)
+		c.mu.Unlock()
+		<-e.done
+		return e.art, true, e.err
+	}
+	e := &entry{key: k, done: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[k] = e
+	c.misses.Add(1)
+	// Evict least-recently-used *completed* entries; an in-flight entry
+	// must survive so concurrent callers of its key share one compute
+	// (the singleflight contract). The cache may transiently exceed max
+	// while many keys are in flight.
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.max; {
+		victim := el.Value.(*entry)
+		el = el.Prev()
+		select {
+		case <-victim.done:
+			c.lru.Remove(victim.elem)
+			delete(c.entries, victim.key)
+		default: // still computing; skip
+		}
+	}
+	c.mu.Unlock()
+
+	e.art, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[k] == e {
+			c.lru.Remove(e.elem)
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+	}
+	close(e.done)
+	return e.art, false, e.err
+}
+
+// Len reports the number of cached (or in-flight) entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters reports lookups that found an entry and lookups that had to
+// compute, since construction.
+func (c *Cache) Counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,208 @@
+package compilecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fpsa/internal/bitstream"
+)
+
+func keyN(n int) Key {
+	var m [32]byte
+	m[0] = byte(n)
+	m[1] = byte(n >> 8)
+	return KeyFrom(m, "cfg")
+}
+
+func TestKeyFromSeparatesModelAndConfig(t *testing.T) {
+	var m [32]byte
+	a := KeyFrom(m, "dup=1")
+	b := KeyFrom(m, "dup=2")
+	if a == b {
+		t.Error("different configs produced one key")
+	}
+	m[5] = 1
+	if c := KeyFrom(m, "dup=1"); c == a {
+		t.Error("different models produced one key")
+	}
+	if d := KeyFrom(m, "dup=1"); d != KeyFrom(m, "dup=1") {
+		t.Error("KeyFrom not deterministic")
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New(8)
+	var builds atomic.Int64
+	const callers = 32
+	var wg sync.WaitGroup
+	arts := make([]*Artifacts, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			art, _, err := c.GetOrCompute(keyN(1), func() (*Artifacts, error) {
+				builds.Add(1)
+				return &Artifacts{PlacementMoves: 42}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			arts[i] = art
+		}(i)
+	}
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Errorf("compute ran %d times for one key", got)
+	}
+	for i := 1; i < callers; i++ {
+		if arts[i] != arts[0] {
+			t.Fatal("callers received distinct artifacts")
+		}
+	}
+	hits, misses := c.Counters()
+	if misses != 1 || hits != callers-1 {
+		t.Errorf("hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+}
+
+func TestFailedComputeRetries(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(keyN(2), func() (*Artifacts, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed compute cached (len %d)", c.Len())
+	}
+	art, hit, err := c.GetOrCompute(keyN(2), func() (*Artifacts, error) { return &Artifacts{}, nil })
+	if err != nil || hit || art == nil {
+		t.Errorf("retry: art=%v hit=%v err=%v", art, hit, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.GetOrCompute(keyN(i), func() (*Artifacts, error) { return &Artifacts{PlacementMoves: i}, nil })
+	}
+	// Touch key 0 so key 1 is the least recently used.
+	if _, hit, _ := c.GetOrCompute(keyN(0), nil); !hit {
+		t.Fatal("expected hit on key 0")
+	}
+	c.GetOrCompute(keyN(9), func() (*Artifacts, error) { return &Artifacts{}, nil })
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	for _, n := range []int{0, 2, 9} {
+		if _, hit, _ := c.GetOrCompute(keyN(n), nil); !hit {
+			t.Errorf("key %d evicted, want kept", n)
+		}
+	}
+	if _, hit, _ := c.GetOrCompute(keyN(1), func() (*Artifacts, error) { return &Artifacts{}, nil }); hit {
+		t.Error("LRU key 1 survived eviction")
+	}
+}
+
+func TestEvictionSkipsInFlightEntries(t *testing.T) {
+	// A full cache must not evict an entry whose compute is still
+	// running: concurrent callers of that key share the one compute.
+	c := New(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrCompute(keyN(1), func() (*Artifacts, error) {
+			close(started)
+			<-release
+			builds.Add(1)
+			return &Artifacts{PlacementMoves: 1}, nil
+		})
+	}()
+	<-started
+	// Overflow the 1-entry cache while key 1 is in flight.
+	for n := 2; n < 5; n++ {
+		c.GetOrCompute(keyN(n), func() (*Artifacts, error) { return &Artifacts{}, nil })
+	}
+	// A second caller for key 1 must join the in-flight compute, not
+	// start a new one.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		art, hit, err := c.GetOrCompute(keyN(1), func() (*Artifacts, error) {
+			builds.Add(1)
+			return &Artifacts{PlacementMoves: 99}, nil
+		})
+		if err != nil || !hit || art.PlacementMoves != 1 {
+			t.Errorf("joiner got art=%+v hit=%v err=%v", art, hit, err)
+		}
+	}()
+	close(release)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("in-flight entry evicted: compute ran %d times", builds.Load())
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				art, _, err := c.GetOrCompute(keyN(i), func() (*Artifacts, error) {
+					return &Artifacts{PlacementMoves: i}, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if art.PlacementMoves != i {
+					t.Errorf("key %d returned artifacts for %d", i, art.PlacementMoves)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	if c.Len() != 16 {
+		t.Errorf("len = %d, want 16", c.Len())
+	}
+}
+
+func TestArtifactsBitstreamMemoized(t *testing.T) {
+	a := &Artifacts{}
+	var gens atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg, err := a.Bitstream(func() (*bitstream.Config, error) {
+				gens.Add(1)
+				return &bitstream.Config{}, nil
+			})
+			if err != nil || cfg == nil {
+				t.Error("bitstream memo failed")
+			}
+		}()
+	}
+	wg.Wait()
+	if gens.Load() != 1 {
+		t.Errorf("bitstream generated %d times", gens.Load())
+	}
+	b := &Artifacts{}
+	if _, err := b.Bitstream(func() (*bitstream.Config, error) { return nil, fmt.Errorf("verify failed") }); err == nil {
+		t.Error("error not propagated")
+	}
+	if _, err := b.Bitstream(func() (*bitstream.Config, error) { return &bitstream.Config{}, nil }); err == nil {
+		t.Error("deterministic failure should be cached as final")
+	}
+}

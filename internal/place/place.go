@@ -3,6 +3,11 @@
 // signal-weighted half-perimeter wirelength, moves swap blocks or relocate
 // them to free sites, and the temperature schedule adapts to the observed
 // acceptance rate.
+//
+// Anneal runs one classic serial schedule; Portfolio runs a multi-seed
+// portfolio of independent anneals on a worker pool, cancels runs that
+// fall behind the best-so-far at periodic cost checkpoints, and returns
+// the cheapest placement — deterministically for any worker count.
 package place
 
 import (
@@ -142,12 +147,46 @@ type Stats struct {
 // Anneal improves a random placement with simulated annealing and returns
 // it with run statistics.
 func Anneal(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options) (*Placement, Stats, error) {
-	p, err := Random(nl, chip, rng)
+	a, err := newAnnealer(nl, chip, rng, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	a.run(-1)
+	p, stats := a.finish()
+	return p, stats, nil
+}
+
+// annealer is a resumable annealing run: advance it a bounded number of
+// temperature steps at a time with run, inspect CurrentCost between
+// segments, and call finish when done. The trajectory depends only on the
+// rng the annealer was built with, never on when or from which goroutine
+// its segments execute — the property the multi-seed Portfolio relies on
+// for determinism.
+type annealer struct {
+	nl     *netlist.Netlist
+	rng    *rand.Rand
+	netsOf [][]int
+	p      *Placement
+	cost   float64
+	stats  Stats
+
+	moves   int
+	temp    float64
+	minTemp float64
+	done    bool
+}
+
+// newAnnealer builds the initial random placement, probes the starting
+// temperature (VPR's recipe: the cost deviation of a sample of random
+// moves) and leaves the run ready to step.
+func newAnnealer(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options) (*annealer, error) {
+	p, err := Random(nl, chip, rng)
+	if err != nil {
+		return nil, err
+	}
+	a := &annealer{nl: nl, rng: rng, p: p}
 	// Index nets by block for incremental cost evaluation.
-	netsOf := make([][]int, len(nl.Blocks))
+	a.netsOf = make([][]int, len(nl.Blocks))
 	for i := range nl.Nets {
 		net := &nl.Nets[i]
 		blocks := append([]int{net.Src}, net.Sinks...)
@@ -155,74 +194,94 @@ func Anneal(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options)
 		for _, b := range blocks {
 			if !seen[b] {
 				seen[b] = true
-				netsOf[b] = append(netsOf[b], i)
+				a.netsOf[b] = append(a.netsOf[b], i)
 			}
 		}
 	}
-	cost := Cost(p, nl)
-	stats := Stats{InitialCost: cost}
+	a.cost = Cost(p, nl)
+	a.stats = Stats{InitialCost: a.cost}
 	if len(nl.Nets) == 0 || len(nl.Blocks) < 2 {
-		stats.FinalCost = cost
-		return p, stats, nil
+		a.done = true
+		return a, nil
 	}
 
-	moves := opts.MovesPerTemp
-	if moves <= 0 {
-		moves = int(10 * math.Pow(float64(len(nl.Blocks)), 4.0/3.0))
-		if moves > 20000 {
-			moves = 20000
+	a.moves = opts.MovesPerTemp
+	if a.moves <= 0 {
+		a.moves = int(10 * math.Pow(float64(len(nl.Blocks)), 4.0/3.0))
+		if a.moves > 20000 {
+			a.moves = 20000
 		}
 	}
 	tempFactor := opts.InitialTempFactor
 	if tempFactor <= 0 {
 		tempFactor = 20
 	}
-
-	// Starting temperature: the cost deviation of a sample of random
-	// moves (VPR's recipe).
 	var sumSq, sum float64
 	const probes = 64
 	for i := 0; i < probes; i++ {
-		d := p.probeMove(nl, netsOf, rng)
+		d := p.probeMove(nl, a.netsOf, rng)
 		sum += d
 		sumSq += d * d
 	}
 	std := math.Sqrt(math.Max(0, sumSq/probes-(sum/probes)*(sum/probes)))
-	temp := tempFactor * (std + 1)
-	minTemp := 0.001 * (cost/float64(len(nl.Nets)) + 1)
-
-	for temp > minTemp {
-		accepted := 0
-		for m := 0; m < moves; m++ {
-			delta, commit := p.proposeMove(nl, netsOf, rng)
-			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-				commit()
-				cost += delta
-				accepted++
-				stats.Accepted++
-			}
-			stats.Moves++
-		}
-		// VPR-style adaptive cooling: cool faster when acceptance is
-		// extreme, slower in the productive 15-95% band.
-		rate := float64(accepted) / float64(moves)
-		switch {
-		case rate > 0.96:
-			temp *= 0.5
-		case rate > 0.8:
-			temp *= 0.9
-		case rate > 0.15:
-			temp *= 0.95
-		default:
-			temp *= 0.8
-		}
-		stats.Temps++
-		if stats.Temps > 300 {
-			break
-		}
+	a.temp = tempFactor * (std + 1)
+	a.minTemp = 0.001 * (a.cost/float64(len(nl.Nets)) + 1)
+	if a.temp <= a.minTemp {
+		a.done = true
 	}
-	stats.FinalCost = Cost(p, nl) // recompute exactly (incremental drift)
-	return p, stats, nil
+	return a, nil
+}
+
+// step runs one temperature: a full move batch plus adaptive cooling.
+func (a *annealer) step() {
+	if a.done {
+		return
+	}
+	accepted := 0
+	for m := 0; m < a.moves; m++ {
+		delta, commit := a.p.proposeMove(a.nl, a.netsOf, a.rng)
+		if delta <= 0 || a.rng.Float64() < math.Exp(-delta/a.temp) {
+			commit()
+			a.cost += delta
+			accepted++
+			a.stats.Accepted++
+		}
+		a.stats.Moves++
+	}
+	// VPR-style adaptive cooling: cool faster when acceptance is
+	// extreme, slower in the productive 15-95% band.
+	rate := float64(accepted) / float64(a.moves)
+	switch {
+	case rate > 0.96:
+		a.temp *= 0.5
+	case rate > 0.8:
+		a.temp *= 0.9
+	case rate > 0.15:
+		a.temp *= 0.95
+	default:
+		a.temp *= 0.8
+	}
+	a.stats.Temps++
+	if a.temp <= a.minTemp || a.stats.Temps > 300 {
+		a.done = true
+	}
+}
+
+// run advances up to maxSteps temperatures (negative = to completion).
+func (a *annealer) run(maxSteps int) {
+	for i := 0; !a.done && (maxSteps < 0 || i < maxSteps); i++ {
+		a.step()
+	}
+}
+
+// CurrentCost recomputes the exact current cost (the incrementally
+// maintained value drifts) — the checkpoint metric Portfolio ranks runs by.
+func (a *annealer) CurrentCost() float64 { return Cost(a.p, a.nl) }
+
+// finish returns the placement with final statistics.
+func (a *annealer) finish() (*Placement, Stats) {
+	a.stats.FinalCost = Cost(a.p, a.nl) // recompute exactly (incremental drift)
+	return a.p, a.stats
 }
 
 // proposeMove picks a random block and a random target site (occupied →

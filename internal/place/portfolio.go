@@ -1,0 +1,190 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+)
+
+// PortfolioOptions tunes the multi-seed annealing portfolio.
+type PortfolioOptions struct {
+	// Runs is the number of independent annealing runs (0 or 1 = one run,
+	// equivalent to Anneal). Run i uses seed BaseSeed+i.
+	Runs int
+	// Workers bounds how many runs anneal concurrently (0 = GOMAXPROCS).
+	// The returned placement is identical for every worker count.
+	Workers int
+	// SegmentTemps is the number of temperature steps each surviving run
+	// advances between cost checkpoints (0 = 16).
+	SegmentTemps int
+	// CullMargin is the checkpoint cancellation threshold: a run whose
+	// checkpoint cost exceeds the best-so-far cost (across finished and
+	// running members) by more than this fraction is cancelled (0 = 25%).
+	// Mid-anneal costs at matched temperature steps spread by 10-15% even
+	// between runs that finish within 2% of each other, so the default
+	// cancels only clear stragglers (a stuck run, a pathological seed)
+	// and lets every competitive run anneal to completion — placement
+	// quality never hinges on ranking noisy mid-anneal checkpoints.
+	// Negative disables cancellation entirely.
+	CullMargin float64
+	// Anneal is passed through to every run.
+	Anneal Options
+}
+
+// RunStats reports one portfolio member.
+type RunStats struct {
+	Seed int64
+	Stats
+	// Cancelled runs were culled at a checkpoint because they had fallen
+	// behind; their Stats describe the partial run and FinalCost the cost
+	// of the frozen (still valid) placement.
+	Cancelled bool
+}
+
+// PortfolioStats reports a whole portfolio.
+type PortfolioStats struct {
+	Runs []RunStats
+	// Winner indexes Runs.
+	Winner int
+	// Cancelled counts culled runs; TotalMoves sums moves across all runs
+	// (the portfolio's total work), while Runs[Winner].Moves is the
+	// winner's serial depth.
+	Cancelled  int
+	TotalMoves int
+}
+
+// Best returns the winning run's stats.
+func (s PortfolioStats) Best() Stats { return s.Runs[s.Winner].Stats }
+
+// Portfolio runs a multi-seed annealing portfolio on a worker pool and
+// returns the lowest-cost placement. Runs advance in lockstep segments of
+// SegmentTemps temperatures; at each checkpoint, every run whose exact
+// recomputed cost has fallen more than CullMargin behind the best-so-far
+// cost across the portfolio is cancelled, and the rest anneal on to
+// completion. Every run's trajectory depends only on its own seed, and
+// every cancellation decision only on deterministic checkpoint costs, so
+// the returned placement is bit-identical for any worker count,
+// including 1. At least one run always completes: the checkpoint leader
+// is never behind itself.
+func Portfolio(nl *netlist.Netlist, chip fabric.Chip, baseSeed int64, opts PortfolioOptions) (*Placement, PortfolioStats, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = 1
+	}
+	segment := opts.SegmentTemps
+	if segment <= 0 {
+		segment = 16
+	}
+	margin := opts.CullMargin
+	if margin == 0 {
+		margin = 0.25
+	}
+
+	anns := make([]*annealer, runs)
+	for i := range anns {
+		a, err := newAnnealer(nl, chip, rand.New(rand.NewSource(baseSeed+int64(i))), opts.Anneal)
+		if err != nil {
+			return nil, PortfolioStats{}, err
+		}
+		anns[i] = a
+	}
+
+	pool := newRunPool(opts.Workers)
+	cancelled := make([]bool, runs)
+	active := make([]int, runs)
+	for i := range active {
+		active[i] = i
+	}
+
+	for len(active) > 0 {
+		pool.each(active, func(i int) { anns[i].run(segment) })
+		still := active[:0]
+		for _, i := range active {
+			if !anns[i].done {
+				still = append(still, i)
+			}
+		}
+		active = still
+		if len(active) == 0 || margin < 0 {
+			continue
+		}
+		// Checkpoint: the best-so-far cost over every non-cancelled run,
+		// finished or not, sets the bar; active runs too far above it
+		// are cancelled.
+		costs := make([]float64, runs)
+		best := math.Inf(1)
+		for i, a := range anns {
+			if !cancelled[i] {
+				costs[i] = a.CurrentCost()
+				if costs[i] < best {
+					best = costs[i]
+				}
+			}
+		}
+		threshold := best * (1 + margin)
+		still = active[:0]
+		for _, i := range active {
+			if costs[i] > threshold {
+				cancelled[i] = true
+			} else {
+				still = append(still, i)
+			}
+		}
+		active = still
+	}
+
+	stats := PortfolioStats{Runs: make([]RunStats, runs), Winner: -1}
+	var best *Placement
+	for i, a := range anns {
+		p, s := a.finish()
+		stats.Runs[i] = RunStats{Seed: baseSeed + int64(i), Stats: s, Cancelled: cancelled[i]}
+		stats.TotalMoves += s.Moves
+		if cancelled[i] {
+			stats.Cancelled++
+		}
+		// A cancelled run's frozen placement is still valid; let it win if
+		// it is genuinely cheapest. Ties go to the lower seed.
+		if stats.Winner < 0 || s.FinalCost < stats.Runs[stats.Winner].FinalCost {
+			stats.Winner = i
+			best = p
+		}
+	}
+	return best, stats, nil
+}
+
+// runPool executes per-run closures on a bounded worker pool.
+type runPool struct{ workers int }
+
+func newRunPool(workers int) *runPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &runPool{workers: workers}
+}
+
+// each calls f(i) for every index in ids, at most workers at a time, and
+// waits for all of them.
+func (p *runPool) each(ids []int, f func(i int)) {
+	if p.workers == 1 || len(ids) == 1 {
+		for _, i := range ids {
+			f(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for _, i := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,103 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/fabric"
+)
+
+func TestPortfolioOfOneMatchesAnneal(t *testing.T) {
+	nl := ringNetlist(24)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+	want, wantStats, err := Anneal(nl, chip, rand.New(rand.NewSource(seed)), Options{MovesPerTemp: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Portfolio(nl, chip, seed, PortfolioOptions{Runs: 1, Anneal: Options{MovesPerTemp: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Winner != 0 || len(stats.Runs) != 1 {
+		t.Fatalf("winner %d of %d runs, want single run 0", stats.Winner, len(stats.Runs))
+	}
+	if stats.Best().FinalCost != wantStats.FinalCost || stats.Best().Moves != wantStats.Moves {
+		t.Errorf("portfolio-of-1 stats %+v, Anneal stats %+v", stats.Best(), wantStats)
+	}
+	for b := range want.Pos {
+		if got.Pos[b] != want.Pos[b] {
+			t.Fatalf("block %d at %v, Anneal put it at %v", b, got.Pos[b], want.Pos[b])
+		}
+	}
+}
+
+func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
+	nl := ringNetlist(30)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := PortfolioOptions{Runs: 5, SegmentTemps: 8, Anneal: Options{MovesPerTemp: 150}}
+	var ref *Placement
+	var refStats PortfolioStats
+	for _, workers := range []int{1, 2, 8} {
+		opts.Workers = workers
+		p, stats, err := Portfolio(nl, chip, 3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refStats = p, stats
+			continue
+		}
+		if stats.Winner != refStats.Winner {
+			t.Fatalf("workers=%d winner %d, workers=1 winner %d", workers, stats.Winner, refStats.Winner)
+		}
+		for i := range stats.Runs {
+			if stats.Runs[i] != refStats.Runs[i] {
+				t.Fatalf("workers=%d run %d %+v, workers=1 %+v", workers, i, stats.Runs[i], refStats.Runs[i])
+			}
+		}
+		for b := range ref.Pos {
+			if p.Pos[b] != ref.Pos[b] {
+				t.Fatalf("workers=%d places block %d at %v, workers=1 at %v", workers, b, p.Pos[b], ref.Pos[b])
+			}
+		}
+	}
+}
+
+func TestPortfolioWinnerIsCheapestRun(t *testing.T) {
+	nl := ringNetlist(36)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hair-trigger margin forces cancellations: at the first checkpoint
+	// everything measurably behind the leader stops.
+	p, stats, err := Portfolio(nl, chip, 1, PortfolioOptions{Runs: 4, SegmentTemps: 8, CullMargin: 0.001, Anneal: Options{MovesPerTemp: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Cost(p, nl); got != stats.Best().FinalCost {
+		t.Errorf("returned placement cost %v, winner stats say %v", got, stats.Best().FinalCost)
+	}
+	for i, r := range stats.Runs {
+		if r.FinalCost < stats.Best().FinalCost {
+			t.Errorf("run %d cost %v beats declared winner %v", i, r.FinalCost, stats.Best().FinalCost)
+		}
+	}
+	if stats.Cancelled == 0 {
+		t.Error("hair-trigger margin cancelled no runs on a 4-run portfolio")
+	}
+	if stats.TotalMoves <= stats.Best().Moves {
+		t.Error("TotalMoves should sum over all runs")
+	}
+}

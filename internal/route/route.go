@@ -10,13 +10,21 @@
 // graph 2·W·H nodes while preserving what the evaluation needs: congestion
 // feasibility, required channel width, and per-net hop counts for the
 // communication-latency model.
+//
+// Within each negotiation iteration, nets route concurrently against the
+// previous iteration's congestion snapshot and a serial deterministic
+// pass resolves the conflicts, so the Result is bit-identical for every
+// Options.Workers value — see Route.
 package route
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fpsa/internal/fabric"
 	"fpsa/internal/netlist"
@@ -34,6 +42,12 @@ type Options struct {
 	// HistGain is added to the history cost of each overused node per
 	// iteration (default 1).
 	HistGain float64
+	// Workers is the number of goroutines routing nets concurrently
+	// within each negotiation iteration (0 = GOMAXPROCS). The Result is
+	// bit-identical for every worker count: the concurrent phase routes
+	// each net against the previous iteration's congestion snapshot, and
+	// conflicts are resolved by a serial deterministic pass.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +62,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HistGain <= 0 {
 		o.HistGain = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -122,6 +139,28 @@ type router struct {
 	presFac float64
 }
 
+// scratch is one worker's private search state, reused across nets.
+type scratch struct {
+	dist    []float64
+	hops    []int
+	prev    []int
+	visited []bool
+	// stamp marks the current net's previous-iteration route: stamp[n] ==
+	// mark means node n carried this net last iteration.
+	stamp []int
+	mark  int
+}
+
+func newScratch(nodes int) *scratch {
+	return &scratch{
+		dist:    make([]float64, nodes),
+		hops:    make([]int, nodes),
+		prev:    make([]int, nodes),
+		visited: make([]bool, nodes),
+		stamp:   make([]int, nodes),
+	}
+}
+
 // Node numbering: dir·W·H + y·W + x with dir 0 horizontal, 1 vertical.
 func (r *router) node(dir int, s fabric.Site) int {
 	return dir*r.chip.W*r.chip.H + s.Y*r.chip.W + s.X
@@ -157,16 +196,28 @@ func (r *router) neighbors(n int, buf []int) []int {
 	return buf
 }
 
-// cost is the PathFinder node cost for a net of the given width.
-func (r *router) cost(n, signals int) float64 {
+// chanCost is the PathFinder node cost for a net of the given width
+// against an occupancy base for node n.
+func (r *router) chanCost(base, n, signals int) float64 {
 	c := 1 + r.hist[n]
-	if over := r.occ[n] + signals - r.chip.Tracks; over > 0 {
+	if over := base + signals - r.chip.Tracks; over > 0 {
 		c *= 1 + r.presFac*float64(over)
 	}
 	return c
 }
 
 // Route runs negotiated-congestion routing of nl under placement pl.
+//
+// Each negotiation iteration has two phases. First, every net is routed
+// concurrently (opts.Workers goroutines) against a frozen congestion
+// snapshot — the previous iteration's occupancy minus the net's own
+// previous usage — so the nets are mutually independent and the phase is
+// deterministic regardless of scheduling. Second, a serial
+// conflict-resolution pass walks the nets in the deterministic wide-first
+// order and rips up and re-routes every net crossing an overused channel
+// against live occupancy. Overuse that survives the pass feeds the normal
+// history/present-cost negotiation of the next iteration, so the Result
+// is bit-identical for every worker count, including 1.
 func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Options) (*Result, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
@@ -196,21 +247,100 @@ func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Opti
 		NetEdges:  make([][]TreeEdge, len(nl.Nets)),
 		NetHops:   make([]int, len(nl.Nets)),
 	}
+	// Per-worker search state, the conflict-pass scratch and the
+	// occupancy buffers live across iterations; only the cheap worker
+	// goroutines respawn per iteration.
+	workers := opts.Workers
+	if workers > len(nl.Nets) {
+		workers = len(nl.Nets)
+	}
+	scratches := make([]*scratch, workers)
+	for w := range scratches {
+		scratches[w] = newScratch(r.nodes)
+	}
+	conflictSt := newScratch(r.nodes)
+	errs := make([]error, len(nl.Nets))
+	prevOcc := make([]int, r.nodes)
+	r.occ = make([]int, r.nodes)
 	for iter := 1; iter <= opts.MaxIters; iter++ {
-		r.occ = make([]int, r.nodes)
 		res.Iterations = iter
-		for _, ni := range order {
-			tree, edges, hops, err := r.routeNet(&nl.Nets[ni])
+
+		// Concurrent phase: snapshot-route every net independently.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(st *scratch) {
+				defer wg.Done()
+				for {
+					ni := int(next.Add(1)) - 1
+					if ni >= len(nl.Nets) {
+						return
+					}
+					net := &nl.Nets[ni]
+					st.mark++
+					for _, n := range res.NetRoutes[ni] {
+						st.stamp[n] = st.mark
+					}
+					cost := func(n int) float64 {
+						base := prevOcc[n]
+						if st.stamp[n] == st.mark {
+							base -= net.Signals
+						}
+						return r.chanCost(base, n, net.Signals)
+					}
+					tree, edges, hops, err := r.routeNet(net, st, cost)
+					if err != nil {
+						errs[ni] = err
+						return
+					}
+					res.NetRoutes[ni], res.NetEdges[ni], res.NetHops[ni] = tree, edges, hops
+				}
+			}(scratches[w])
+		}
+		wg.Wait()
+		for ni, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("route: net %d: %w", ni, err)
 			}
-			res.NetRoutes[ni] = tree
-			res.NetEdges[ni] = edges
-			res.NetHops[ni] = hops
-			for _, n := range tree {
+		}
+
+		// Live occupancy of the snapshot routes.
+		clear(r.occ)
+		for ni := range nl.Nets {
+			for _, n := range res.NetRoutes[ni] {
 				r.occ[n] += nl.Nets[ni].Signals
 			}
 		}
+
+		// Serial conflict-resolution pass in deterministic order.
+		st := conflictSt
+		for _, ni := range order {
+			net := &nl.Nets[ni]
+			conflicted := false
+			for _, n := range res.NetRoutes[ni] {
+				if r.occ[n] > chip.Tracks {
+					conflicted = true
+					break
+				}
+			}
+			if !conflicted {
+				continue
+			}
+			for _, n := range res.NetRoutes[ni] {
+				r.occ[n] -= net.Signals
+			}
+			cost := func(n int) float64 { return r.chanCost(r.occ[n], n, net.Signals) }
+			tree, edges, hops, err := r.routeNet(net, st, cost)
+			if err != nil {
+				return nil, fmt.Errorf("route: net %d: %w", ni, err)
+			}
+			res.NetRoutes[ni], res.NetEdges[ni], res.NetHops[ni] = tree, edges, hops
+			for _, n := range tree {
+				r.occ[n] += net.Signals
+			}
+		}
+
 		res.Overused = 0
 		res.MaxOccupancy = 0
 		for n := 0; n < r.nodes; n++ {
@@ -227,13 +357,16 @@ func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Opti
 			return res, nil
 		}
 		r.presFac *= opts.PresFacGrowth
+		prevOcc, r.occ = r.occ, prevOcc
 	}
 	return res, nil
 }
 
 // routeNet builds a route tree source→all sinks and returns (tree nodes,
-// tree edges, max source→sink hops).
-func (r *router) routeNet(net *netlist.Net) ([]int, []TreeEdge, int, error) {
+// tree edges, max source→sink hops). Node prices come from cost; st is
+// the caller's private search state, so concurrent calls on distinct
+// scratches are safe.
+func (r *router) routeNet(net *netlist.Net, st *scratch, cost func(n int) float64) ([]int, []TreeEdge, int, error) {
 	src := r.pl.Pos[net.Src]
 	inTree := make(map[int]int) // node → hops from source along tree
 	tree := make([]int, 0, 8)
@@ -249,10 +382,7 @@ func (r *router) routeNet(net *netlist.Net) ([]int, []TreeEdge, int, error) {
 	addTree(r.node(1, src), 1)
 
 	maxHops := 0
-	dist := make([]float64, r.nodes)
-	hops := make([]int, r.nodes)
-	prev := make([]int, r.nodes)
-	visited := make([]bool, r.nodes)
+	dist, hops, prev, visited := st.dist, st.hops, st.prev, st.visited
 	var buf [3]int
 	for _, sinkBlock := range net.Sinks {
 		sink := r.pl.Pos[sinkBlock]
@@ -274,10 +404,12 @@ func (r *router) routeNet(net *netlist.Net) ([]int, []TreeEdge, int, error) {
 			dist[i] = -1
 			visited[i] = false
 		}
+		// Seed from the ordered tree slice, not the map: map iteration
+		// order would make equal-cost tie-breaking nondeterministic.
 		pq := &nodeHeap{}
-		for n, h := range inTree {
+		for _, n := range tree {
 			dist[n] = 0
-			hops[n] = h
+			hops[n] = inTree[n]
 			prev[n] = -1
 			heap.Push(pq, nodeCost{node: n, cost: 0})
 		}
@@ -294,7 +426,7 @@ func (r *router) routeNet(net *netlist.Net) ([]int, []TreeEdge, int, error) {
 				break
 			}
 			for _, m := range r.neighbors(n, buf[:0]) {
-				c := dist[n] + r.cost(m, net.Signals)
+				c := dist[n] + cost(m)
 				if dist[m] < 0 || c < dist[m] {
 					dist[m] = c
 					hops[m] = hops[n] + 1

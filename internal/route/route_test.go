@@ -167,6 +167,63 @@ func TestRouteAnnealedLeNetClassNetlist(t *testing.T) {
 	}
 }
 
+func TestRouteDeterministicAcrossWorkers(t *testing.T) {
+	// The same placement must route bit-identically for every worker
+	// count and on repeated runs — the deployment cache and the parallel
+	// router's contract both depend on it.
+	rng := rand.New(rand.NewSource(23))
+	nl := &netlist.Netlist{}
+	for i := 0; i < 40; i++ {
+		nl.AddBlock(netlist.BlockPE, "b", i, 0)
+	}
+	for i := 0; i < 36; i++ {
+		src := rng.Intn(40)
+		var sinks []int
+		for len(sinks) < 1+rng.Intn(3) {
+			s := rng.Intn(40)
+			if s != src {
+				sinks = append(sinks, s)
+			}
+		}
+		nl.AddNet(src, sinks, 1+rng.Intn(8))
+	}
+	chip := fabric.Chip{W: 7, H: 7, Tracks: 24, Params: device.Params45nm}
+	p, err := place.Random(nl, chip, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref *Result
+	for _, workers := range []int{1, 1, 2, 4, 8} {
+		res, err := Route(nl, p, chip, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Converged != ref.Converged || res.Iterations != ref.Iterations ||
+			res.MaxOccupancy != ref.MaxOccupancy || res.Overused != ref.Overused {
+			t.Fatalf("workers=%d summary %+v differs from workers=1", workers, res)
+		}
+		for ni := range nl.Nets {
+			if len(res.NetRoutes[ni]) != len(ref.NetRoutes[ni]) || res.NetHops[ni] != ref.NetHops[ni] {
+				t.Fatalf("workers=%d net %d tree differs", workers, ni)
+			}
+			for j, n := range res.NetRoutes[ni] {
+				if n != ref.NetRoutes[ni][j] {
+					t.Fatalf("workers=%d net %d node %d: %d vs %d", workers, ni, j, n, ref.NetRoutes[ni][j])
+				}
+			}
+			for j, e := range res.NetEdges[ni] {
+				if e != ref.NetEdges[ni][j] {
+					t.Fatalf("workers=%d net %d edge %d differs", workers, ni, j)
+				}
+			}
+		}
+	}
+}
+
 func TestEstimateHops(t *testing.T) {
 	nl := &netlist.Netlist{}
 	a := nl.AddBlock(netlist.BlockPE, "a", 0, 0)
