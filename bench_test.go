@@ -1,10 +1,13 @@
 package fpsa
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"fpsa/internal/device"
 	"fpsa/internal/experiments"
+	"fpsa/internal/synth"
 )
 
 // One benchmark per paper artifact: running `go test -bench=.` regenerates
@@ -195,12 +198,108 @@ func deployBenchNet(b *testing.B) (*SpikingNet, Dataset) {
 	return sn, train
 }
 
+// deployConvBenchNet builds a small convolutional workload
+// (conv→pool→gap→fc with random weights) so the batched-execution
+// benchmarks cover the time-multiplexed shared-group path, not just FC
+// stages.
+func deployConvBenchNet(b *testing.B) *SpikingNet {
+	b.Helper()
+	m, err := NewModelBuilder("convbench", 2, 10, 10).
+		Conv2D(8, 3, 1, 1).ReLU().
+		MaxPool(2, 2).
+		GlobalAvgPool().
+		FC(4).ReLU().
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	mk := func(rows, cols int) [][]float64 {
+		w := make([][]float64, rows)
+		for r := range w {
+			w[r] = make([]float64, cols)
+			for c := range w[r] {
+				w[r][c] = (rng.Float64()*2 - 1) / float64(rows)
+			}
+		}
+		return w
+	}
+	layers := m.WeightLayers()
+	sn, err := DeployModel(m, map[string][][]float64{
+		layers[0]: mk(2*3*3, 8),
+		layers[1]: mk(8, 4),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sn
+}
+
+// benchmarkRunBatch measures one executor consuming fixed micro-batches
+// through the batched kernel path. The samples/s metric is comparable
+// across batch sizes: batch 1 is the per-item baseline the batched rows
+// are judged against.
+func benchmarkRunBatch(b *testing.B, sn *SpikingNet, mode synth.ExecMode, batch int) {
+	window := sn.Window()
+	rng := rand.New(rand.NewSource(3))
+	// Every batch size cycles through the same 64-vector pool (64 is a
+	// multiple of each size), so simulation cost — which depends on
+	// spike density — is sampled identically and samples/s compares
+	// cleanly across sub-benchmarks.
+	pool := make([][]int, 64)
+	for i := range pool {
+		in := make([]int, sn.prog.InputSize)
+		for j := range in {
+			in[j] = rng.Intn(window + 1)
+		}
+		pool[i] = in
+	}
+	ex, err := synth.NewExecutor(sn.prog, synth.RunOptions{Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := make([][]int, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range cur {
+			cur[j] = pool[(i*batch+j)%len(pool)]
+		}
+		if _, err := ex.RunBatch(cur); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkRunBatch sweeps batch sizes over the MLP and conv workloads in
+// both deterministic modes; compare the samples/s metric within one
+// workload+mode group to read the batched-vs-serial throughput ratio.
+func BenchmarkRunBatch(b *testing.B) {
+	mlp, _ := deployBenchNet(b)
+	conv := deployConvBenchNet(b)
+	for _, wl := range []struct {
+		name string
+		sn   *SpikingNet
+	}{{"mlp", mlp}, {"conv", conv}} {
+		for _, mode := range []struct {
+			name string
+			mode synth.ExecMode
+		}{{"reference", synth.ModeReference}, {"spiking", synth.ModeSpiking}} {
+			for _, batch := range []int{1, 4, 16, 64} {
+				b.Run(fmt.Sprintf("%s/%s/batch%d", wl.name, mode.name, batch), func(b *testing.B) {
+					benchmarkRunBatch(b, wl.sn, mode.mode, batch)
+				})
+			}
+		}
+	}
+}
+
 // benchmarkEngine drives the batched engine from GOMAXPROCS submitter
 // goroutines — the concurrent-serving counterpart of the serial
 // BenchmarkSpikingInference loop above.
-func benchmarkEngine(b *testing.B, workers int) {
+func benchmarkEngine(b *testing.B, workers, maxBatch int) {
 	sn, train := deployBenchNet(b)
-	eng, err := NewEngine(sn, EngineConfig{Workers: workers, MaxBatch: 8, Mode: ModeSpiking})
+	eng, err := NewEngine(sn, EngineConfig{Workers: workers, MaxBatch: maxBatch, Mode: ModeSpiking})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,6 +321,11 @@ func benchmarkEngine(b *testing.B, workers int) {
 	})
 }
 
-func BenchmarkEngineClassify1(b *testing.B) { benchmarkEngine(b, 1) }
-func BenchmarkEngineClassify4(b *testing.B) { benchmarkEngine(b, 4) }
-func BenchmarkEngineClassify8(b *testing.B) { benchmarkEngine(b, 8) }
+func BenchmarkEngineClassify1(b *testing.B) { benchmarkEngine(b, 1, 8) }
+func BenchmarkEngineClassify4(b *testing.B) { benchmarkEngine(b, 4, 8) }
+func BenchmarkEngineClassify8(b *testing.B) { benchmarkEngine(b, 8, 8) }
+
+// BenchmarkEngineClassify4Batch16 is the headline batched-serving
+// configuration: 4 workers consuming micro-batches of 16 through
+// Executor.RunBatch.
+func BenchmarkEngineClassify4Batch16(b *testing.B) { benchmarkEngine(b, 4, 16) }

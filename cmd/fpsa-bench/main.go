@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	fpsa-bench                  # run everything
-//	fpsa-bench -exp figure8     # one artifact
-//	fpsa-bench -list            # show artifact IDs
+//	fpsa-bench                        # run everything
+//	fpsa-bench -exp figure8           # one artifact
+//	fpsa-bench -exp serving -batch 32 # serving throughput at batch 32
+//	fpsa-bench -list                  # show artifact IDs
 package main
 
 import (
@@ -19,13 +20,25 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
+	batch := flag.Int("batch", 0, "micro-batch size for the serving experiment (0 = default 16)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(fpsa.ExperimentIDs(), "\n"))
 		return
 	}
-	out, err := fpsa.RunExperiment(*exp)
+	serving := strings.ToLower(*exp) == "serving"
+	if *batch != 0 && !serving {
+		fmt.Fprintln(os.Stderr, "fpsa-bench: -batch only applies to -exp serving")
+		os.Exit(1)
+	}
+	var out string
+	var err error
+	if serving {
+		out, err = fpsa.RunServingExperiment(*batch)
+	} else {
+		out, err = fpsa.RunExperiment(*exp)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpsa-bench:", err)
 		os.Exit(1)

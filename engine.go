@@ -114,11 +114,19 @@ func (e *Engine) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, e
 // EngineStats is a snapshot of an engine's serving counters — the
 // served-traffic counterpart of PerfSummary.
 type EngineStats struct {
-	Requests      uint64
-	Errors        uint64
-	Shed          uint64
-	Batches       uint64
-	MeanBatch     float64
+	Requests  uint64
+	Errors    uint64
+	Shed      uint64
+	Batches   uint64
+	MeanBatch float64
+	// ExecBatches, MeanExecBatch and MaxExecBatch describe the
+	// executor-level batched kernel passes: how many RunBatch calls the
+	// workers issued and how many live requests each carried after
+	// shedding — the kernel batching actually achieved, as opposed to
+	// the MaxBatch configured ceiling.
+	ExecBatches   uint64
+	MeanExecBatch float64
+	MaxExecBatch  int
 	ThroughputSPS float64
 	P50LatencyUS  float64
 	P99LatencyUS  float64

@@ -302,7 +302,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if _, err := RunExperiment("figure99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(ExperimentIDs()); got != 11 {
+	if got := len(ExperimentIDs()); got != 12 {
 		t.Errorf("ExperimentIDs = %d entries", got)
 	}
 	// The cheaper figure/ablation dispatch paths.
@@ -317,5 +317,88 @@ func TestRunExperimentDispatch(t *testing.T) {
 	out, err = RunExperiment("figure2")
 	if err != nil || !strings.Contains(out, "communication gap") {
 		t.Errorf("figure2: %v", err)
+	}
+}
+
+// TestClassifyBatchMatchesSerial: the public batched classification path
+// returns the same labels as per-sample Classify in the deterministic
+// modes, and OutputsBatch replays deterministically per SetSeed in the
+// noisy mode (a batch shares one programming draw, so it is its own
+// sequence, distinct from per-sample draws).
+func TestClassifyBatchMatchesSerial(t *testing.T) {
+	ds := SyntheticDataset(21, 300, 10, 3, 0.08)
+	train, _ := ds.Split(0.8)
+	net, err := TrainMLP(21, []int{10, 12, 3}, train, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := net.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := train.X[:9]
+	for _, mode := range []ExecMode{ModeReference, ModeSpiking} {
+		labels, err := sn.ClassifyBatch(batch, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels) != len(batch) {
+			t.Fatalf("mode %v: %d labels for %d samples", mode, len(labels), len(batch))
+		}
+		for i, x := range batch {
+			want, err := sn.Classify(x, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if labels[i] != want {
+				t.Errorf("mode %v sample %d: batch %d, serial %d", mode, i, labels[i], want)
+			}
+		}
+	}
+	sn.SetSeed(3)
+	a, err := sn.OutputsBatch(batch, ModeSpikingNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.SetSeed(3)
+	b, err := sn.OutputsBatch(batch, ModeSpikingNoisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("noisy batch not deterministic per seed: item %d col %d: %d vs %d", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+	if out, err := sn.ClassifyBatch(nil, ModeReference); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+	if _, err := sn.ClassifyBatch(batch, ExecMode(9)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestServingBenchRuns pins the serving-throughput artifact end to end
+// (small sample count to keep the suite fast).
+func TestServingBenchRuns(t *testing.T) {
+	r, err := ServingBench(ServingBenchOptions{Batch: 8, Workers: 2, Samples: 48, Mode: ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SerialSPS <= 0 || r.BatchedSPS <= 0 || r.EngineSPS <= 0 {
+		t.Errorf("non-positive throughput: %+v", r)
+	}
+	if r.EngineStats.Requests != 48 {
+		t.Errorf("engine served %d, want 48", r.EngineStats.Requests)
+	}
+	if r.EngineStats.MaxExecBatch < 1 || r.EngineStats.MaxExecBatch > 8 {
+		t.Errorf("MaxExecBatch = %d, want in [1,8]", r.EngineStats.MaxExecBatch)
+	}
+	for _, want := range []string{"serial", "batched", "engine", "samples/s"} {
+		if !strings.Contains(r.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, r)
+		}
 	}
 }

@@ -103,6 +103,19 @@ const (
 	ModeSpikingNoisy
 )
 
+// String names the mode the way the CLIs spell it.
+func (m ExecMode) String() string {
+	switch m {
+	case ModeReference:
+		return "reference"
+	case ModeSpiking:
+		return "spiking"
+	case ModeSpikingNoisy:
+		return "noisy"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
 // SpikingNet is a network deployed onto simulated FPSA processing
 // elements.
 type SpikingNet struct {
@@ -182,6 +195,49 @@ func (s *SpikingNet) Outputs(features []float64, mode ExecMode) ([]int, error) {
 		opts.Rng = s.noisyRng()
 	}
 	return s.prog.Run(in, opts)
+}
+
+// ClassifyBatch quantizes a micro-batch of feature vectors and runs the
+// deployed network once over the whole batch, returning the positional
+// argmax classes. The network's crossbars are programmed once for the
+// batch and every stage evaluates all samples together (the batched
+// kernel path), so this is substantially faster than looping Classify.
+// In ModeSpikingNoisy the batch shares a single programming-variation
+// draw — one physical chip serving the batch — advancing the SetSeed
+// stream by one draw per batch rather than one per sample.
+func (s *SpikingNet) ClassifyBatch(features [][]float64, mode ExecMode) ([]int, error) {
+	outs, err := s.OutputsBatch(features, mode)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, len(outs))
+	for i, out := range outs {
+		labels[i] = synth.Argmax(out)
+	}
+	return labels, nil
+}
+
+// OutputsBatch returns the raw output spike counts for a micro-batch of
+// feature vectors, positionally. See ClassifyBatch for the batching and
+// noisy-mode semantics.
+func (s *SpikingNet) OutputsBatch(features [][]float64, mode ExecMode) ([][]int, error) {
+	if len(features) == 0 {
+		return nil, nil
+	}
+	window := s.prog.Params.SamplingWindow()
+	ins := make([][]int, len(features))
+	for i, f := range features {
+		ins[i] = synth.QuantizeInput(f, window)
+	}
+	m, err := mode.synthMode()
+	if err != nil {
+		return nil, err
+	}
+	opts := synth.RunOptions{Mode: m}
+	if mode == ModeSpikingNoisy {
+		opts.Rng = s.noisyRng()
+	}
+	return s.prog.RunBatch(ins, opts)
 }
 
 // Window returns the deployment's sampling window Γ.

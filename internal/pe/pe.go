@@ -13,6 +13,11 @@
 //  2. Simulate: a cycle-level simulation with ideal accumulate-and-fire
 //     neurons over real spike trains.
 //  3. SimulateRC: the same, with the voltage-domain RC neuron of Eq. 1.
+//
+// The numeric kernels live in internal/xbar (the shared batched crossbar
+// kernel the whole execution stack runs on); PE wraps one xbar.Crossbar
+// with the circuit-level surface — RC neurons, energy and utilization
+// accounting — that the chip-level simulation needs.
 package pe
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"fpsa/internal/device"
 	"fpsa/internal/spike"
+	"fpsa/internal/xbar"
 )
 
 // Config parameterizes a PE.
@@ -61,16 +67,17 @@ func (c Config) eta() float64 {
 // MaxWeight returns the largest representable logical weight magnitude.
 func (c Config) MaxWeight() int { return c.Rep.MaxWeight() }
 
-// PE is one processing element with programmed weights.
+// PE is one processing element with programmed weights. The programmed
+// state and the compute kernels live in an internal xbar.Crossbar; PE
+// keeps the logical integer weights for the scaling and accounting
+// methods (SafeEta, Utilization).
 type PE struct {
 	cfg  Config
 	rows int
 	cols int
-	// posG[j][i] / negG[j][i] are the programmed conductance sums (level
-	// units, possibly with variation) of logical column j, row i.
-	posG [][]float64
-	negG [][]float64
-	// weights keeps the logical integers for the reference path.
+	// xb is the programmed crossbar kernel (reference + spiking paths).
+	xb *xbar.Crossbar
+	// weights keeps the logical integers for SafeEta and tests.
 	weights [][]int
 }
 
@@ -94,45 +101,20 @@ func (p *PE) Config() Config { return p.cfg }
 // to the negative column. A nil rng programs ideal conductances; otherwise
 // each cell receives Gaussian programming variation.
 func (p *PE) Program(weights [][]int, rng *rand.Rand) error {
-	rows := len(weights)
-	if rows == 0 {
-		return fmt.Errorf("pe: empty weight matrix")
+	xb, err := xbar.Program(xbar.Config{
+		Params: p.cfg.Params,
+		Spec:   p.cfg.Spec,
+		Rep:    p.cfg.Rep,
+		Eta:    p.cfg.Eta,
+	}, weights, rng)
+	if err != nil {
+		return fmt.Errorf("pe: %w", err)
 	}
-	cols := len(weights[0])
-	if rows > p.cfg.Params.CrossbarRows {
-		return fmt.Errorf("pe: %d rows exceed crossbar rows %d", rows, p.cfg.Params.CrossbarRows)
-	}
-	if cols > p.cfg.Params.LogicalColumns() {
-		return fmt.Errorf("pe: %d cols exceed logical columns %d", cols, p.cfg.Params.LogicalColumns())
-	}
-	maxW := p.cfg.MaxWeight()
-	p.rows, p.cols = rows, cols
-	p.posG = make([][]float64, cols)
-	p.negG = make([][]float64, cols)
-	p.weights = make([][]int, rows)
+	p.xb = xb
+	p.rows, p.cols = xb.Rows(), xb.Cols()
+	p.weights = make([][]int, p.rows)
 	for i := range weights {
-		if len(weights[i]) != cols {
-			return fmt.Errorf("pe: ragged weight matrix at row %d", i)
-		}
 		p.weights[i] = append([]int(nil), weights[i]...)
-	}
-	for j := 0; j < cols; j++ {
-		p.posG[j] = make([]float64, rows)
-		p.negG[j] = make([]float64, rows)
-		for i := 0; i < rows; i++ {
-			w := weights[i][j]
-			if w > maxW || w < -maxW {
-				return fmt.Errorf("pe: weight %d at (%d,%d) exceeds |%d|", w, i, j, maxW)
-			}
-			pos, neg := 0, 0
-			if w >= 0 {
-				pos = w
-			} else {
-				neg = -w
-			}
-			p.posG[j][i] = device.ProgramWeight(p.cfg.Rep, p.cfg.Spec, pos, rng)
-			p.negG[j][i] = device.ProgramWeight(p.cfg.Rep, p.cfg.Spec, neg, rng)
-		}
 	}
 	return nil
 }
@@ -160,7 +142,12 @@ func (p *PE) ProgramFloat(weights [][]float64, rng *rand.Rand) error {
 
 // SetEta overrides the neuron threshold η. The synthesizer calls this with
 // a per-matrix scale that prevents neuron saturation (see SafeEta).
-func (p *PE) SetEta(eta float64) { p.cfg.Eta = eta }
+func (p *PE) SetEta(eta float64) {
+	p.cfg.Eta = eta
+	if p.xb != nil {
+		p.xb.SetEta(p.cfg.eta())
+	}
+}
 
 // SafeEta returns the smallest η for which no neuron can saturate the
 // one-spike-per-cycle cap: η = max_j max(Σ_i pos_ji, Σ_i neg_ji)·maxCount/Γ.
@@ -199,27 +186,12 @@ func (p *PE) SafeEta(maxCount int) float64 {
 // assumes η is saturation-safe (see SafeEta); the cycle-level simulation
 // reproduces it exactly up to the ±1 subtracter stream artefact.
 func (p *PE) ReferenceVMM(x []int) ([]int, error) {
-	if len(x) != p.rows {
+	if p.xb == nil || len(x) != p.rows {
 		return nil, fmt.Errorf("pe: input length %d, want %d", len(x), p.rows)
 	}
-	window := p.cfg.Params.SamplingWindow()
-	eta := p.cfg.eta()
 	out := make([]int, p.cols)
-	for j := 0; j < p.cols; j++ {
-		var pos, neg int
-		for i := 0; i < p.rows; i++ {
-			w := p.weights[i][j]
-			if w >= 0 {
-				pos += w * x[i]
-			} else {
-				neg += -w * x[i]
-			}
-		}
-		y := int(float64(pos)/eta) - int(float64(neg)/eta)
-		if y < 0 {
-			y = 0
-		}
-		out[j] = spike.Clamp(y, window)
+	if err := p.xb.ReferenceBatch(out, x, 1); err != nil {
+		return nil, fmt.Errorf("pe: %w", err)
 	}
 	return out, nil
 }
@@ -251,60 +223,22 @@ func (p *PE) FloatVMM(x []int) ([]float64, error) {
 // (possibly noisy) conductances. It returns the output spike trains of the
 // subtracters.
 func (p *PE) Simulate(inputs []spike.Train) ([]spike.Train, error) {
-	return p.simulate(inputs, func(eta float64) stepper { return &spike.Neuron{Eta: eta} })
+	return p.simulate(inputs, func(eta float64) xbar.Stepper { return &spike.Neuron{Eta: eta} })
 }
 
 // SimulateRC runs the same simulation with circuit-faithful RC voltage
 // neurons (Eq. 1).
 func (p *PE) SimulateRC(inputs []spike.Train) ([]spike.Train, error) {
-	return p.simulate(inputs, func(eta float64) stepper { return spike.DefaultRCNeuron(eta) })
+	return p.simulate(inputs, func(eta float64) xbar.Stepper { return spike.DefaultRCNeuron(eta) })
 }
 
-// stepper is the common surface of the two neuron models.
-type stepper interface {
-	Step(drive float64) bool
-	Reset()
-}
-
-func (p *PE) simulate(inputs []spike.Train, newNeuron func(eta float64) stepper) ([]spike.Train, error) {
-	if len(inputs) != p.rows {
+func (p *PE) simulate(inputs []spike.Train, newNeuron func(eta float64) xbar.Stepper) ([]spike.Train, error) {
+	if p.xb == nil {
 		return nil, fmt.Errorf("pe: %d input trains, want %d", len(inputs), p.rows)
 	}
-	window := p.cfg.Params.SamplingWindow()
-	for i, tr := range inputs {
-		if tr.Window() != window {
-			return nil, fmt.Errorf("pe: input %d window %d, want %d", i, tr.Window(), window)
-		}
-	}
-	eta := p.cfg.eta()
-	posN := make([]stepper, p.cols)
-	negN := make([]stepper, p.cols)
-	subs := make([]spike.Subtracter, p.cols)
-	outs := make([]spike.Train, p.cols)
-	for j := range outs {
-		posN[j] = newNeuron(eta)
-		negN[j] = newNeuron(eta)
-		outs[j] = spike.NewTrain(window)
-	}
-	active := make([]int, 0, p.rows)
-	for t := 0; t < window; t++ {
-		active = active[:0]
-		for i := range inputs {
-			if inputs[i][t] {
-				active = append(active, i)
-			}
-		}
-		for j := 0; j < p.cols; j++ {
-			var drvPos, drvNeg float64
-			pg, ng := p.posG[j], p.negG[j]
-			for _, i := range active {
-				drvPos += pg[i]
-				drvNeg += ng[i]
-			}
-			sp := posN[j].Step(drvPos)
-			sn := negN[j].Step(drvNeg)
-			outs[j][t] = subs[j].Step(sp, sn)
-		}
+	outs, err := p.xb.SimulateTrains(inputs, newNeuron)
+	if err != nil {
+		return nil, fmt.Errorf("pe: %w", err)
 	}
 	return outs, nil
 }

@@ -3,8 +3,12 @@
 // a request queue, a batcher that flushes on batch size or deadline, and
 // a pool of workers each holding its own programmed synth.Executor —
 // cycle-level simulation state is never shared across goroutines, exactly
-// as each replica chip carries its own programmed crossbars. It is the
-// serving substrate behind the public fpsa.Engine API and cmd/fpsa-serve.
+// as each replica chip carries its own programmed crossbars. Workers
+// execute each flushed micro-batch as ONE Executor.RunBatch call, so
+// MaxBatch is a throughput knob (every stage's crossbar evaluates the
+// whole batch through the shared internal/xbar kernel), not just a
+// latency/queueing knob. It is the serving substrate behind the public
+// fpsa.Engine API and cmd/fpsa-serve.
 package serve
 
 import (
@@ -23,7 +27,9 @@ type Options struct {
 	// Executor. 0 means 1.
 	Workers int
 	// MaxBatch flushes the accumulating micro-batch when it reaches this
-	// many requests. 0 means 8.
+	// many requests; a flushed batch is executed in one batched kernel
+	// pass, so larger values trade queueing latency for per-stage
+	// throughput. 0 means 8.
 	MaxBatch int
 	// FlushInterval flushes a non-empty micro-batch this long after its
 	// first request arrived, bounding queueing latency under light load.
@@ -266,13 +272,18 @@ func stopTimer(t *time.Timer) {
 	}
 }
 
-// worker runs batches on its private executor until the batch channel
-// closes. Requests whose callers already gave up (context done while
+// worker runs whole micro-batches on its private executor until the
+// batch channel closes: each flushed batch becomes one Executor.RunBatch
+// call. Requests whose callers already gave up (context done while
 // queued) are shed without simulating, so client timeouts actually
-// relieve load.
+// relieve load, and malformed requests fail individually in pre-flight
+// validation so they cannot poison the rest of the batch.
 func (e *Engine) worker(ex *synth.Executor) {
 	defer e.wg.Done()
+	var live []*request
+	var inputs [][]int
 	for batch := range e.batches {
+		live, inputs = live[:0], inputs[:0]
 		for _, r := range batch {
 			if err := r.ctx.Err(); err != nil {
 				r.err = err
@@ -280,9 +291,27 @@ func (e *Engine) worker(ex *synth.Executor) {
 				close(r.done)
 				continue
 			}
-			r.out, r.err = ex.Run(r.input)
-			if r.err != nil {
+			if err := ex.Validate(r.input); err != nil {
+				r.err = err
 				e.stats.errors.Add(1)
+				e.stats.recordDone(time.Since(r.enq))
+				close(r.done)
+				continue
+			}
+			live = append(live, r)
+			inputs = append(inputs, r.input)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		outs, err := ex.RunBatch(inputs)
+		e.stats.recordExecBatch(len(live))
+		for i, r := range live {
+			if err != nil {
+				r.err = err
+				e.stats.errors.Add(1)
+			} else {
+				r.out = outs[i]
 			}
 			e.stats.recordDone(time.Since(r.enq))
 			close(r.done)

@@ -362,3 +362,92 @@ func TestStatsString(t *testing.T) {
 		}
 	}
 }
+
+// TestExecBatchStats: workers execute flushed micro-batches as single
+// RunBatch calls, and the Stats surface reports the executed batch
+// sizes.
+func TestExecBatchStats(t *testing.T) {
+	prog := buildProgram(t, 13, []int{10, 8, 3})
+	inputs := randomInputs(prog, 14, 12)
+	eng, err := New(prog, Options{Workers: 1, MaxBatch: 4, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.InferBatch(context.Background(), inputs); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Requests != 12 {
+		t.Errorf("Requests = %d, want 12", s.Requests)
+	}
+	if s.ExecBatches == 0 || s.ExecBatches > 12 {
+		t.Errorf("ExecBatches = %d, want in [1,12]", s.ExecBatches)
+	}
+	if s.MeanExecBatch < 1 || s.MeanExecBatch > 4 {
+		t.Errorf("MeanExecBatch = %g, want in [1,4]", s.MeanExecBatch)
+	}
+	if s.MaxExecBatch < 1 || s.MaxExecBatch > 4 {
+		t.Errorf("MaxExecBatch = %d, want in [1,4]", s.MaxExecBatch)
+	}
+	for _, want := range []string{"exec mean", "max"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("Stats.String() = %q missing %q", s.String(), want)
+		}
+	}
+}
+
+// TestInvalidItemDoesNotPoisonBatch: a malformed request sharing a
+// micro-batch with healthy ones fails alone; the rest of the batch still
+// executes and matches the serial path.
+func TestInvalidItemDoesNotPoisonBatch(t *testing.T) {
+	prog := buildProgram(t, 15, []int{10, 8, 3})
+	good := randomInputs(prog, 16, 3)
+	ex, err := synth.NewExecutor(prog, synth.RunOptions{Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker and a batch size covering all four requests, with a
+	// generous flush deadline so they land in one micro-batch.
+	eng, err := New(prog, Options{Workers: 1, MaxBatch: 4, FlushInterval: 50 * time.Millisecond, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var wg sync.WaitGroup
+	outs := make([][]int, 3)
+	errs := make([]error, 4)
+	for i, in := range good {
+		wg.Add(1)
+		go func(i int, in []int) {
+			defer wg.Done()
+			outs[i], errs[i] = eng.Infer(context.Background(), in)
+		}(i, in)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[3] = eng.Infer(context.Background(), make([]int, prog.InputSize+2))
+	}()
+	wg.Wait()
+	if errs[3] == nil {
+		t.Error("malformed request accepted")
+	}
+	for i, in := range good {
+		if errs[i] != nil {
+			t.Fatalf("good request %d: %v", i, errs[i])
+		}
+		want, err := ex.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if outs[i][j] != want[j] {
+				t.Fatalf("good[%d][%d] = %d, want %d", i, j, outs[i][j], want[j])
+			}
+		}
+	}
+	if s := eng.Stats(); s.Errors != 1 {
+		t.Errorf("stats.Errors = %d, want 1", s.Errors)
+	}
+}

@@ -22,6 +22,14 @@ type Stats struct {
 	// Requests/Batches.
 	Batches   uint64
 	MeanBatch float64
+	// ExecBatches counts executor-level batched kernel invocations (one
+	// RunBatch per flushed batch that still had live requests);
+	// MeanExecBatch and MaxExecBatch describe the executed batch sizes
+	// after context shedding and validation — the degree of kernel-level
+	// batching actually achieved.
+	ExecBatches   uint64
+	MeanExecBatch float64
+	MaxExecBatch  int
 	// ThroughputSPS is completed requests per second of engine uptime.
 	ThroughputSPS float64
 	// P50LatencyUS and P99LatencyUS are queue-to-completion latency
@@ -38,8 +46,9 @@ type Stats struct {
 
 // String renders the snapshot.
 func (s Stats) String() string {
-	return fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us, queue %d, %d workers",
+	return fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f, exec mean %.1f / max %d), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us, queue %d, %d workers",
 		s.Requests, s.Errors, s.Shed, s.Batches, s.MeanBatch,
+		s.MeanExecBatch, s.MaxExecBatch,
 		s.ThroughputSPS, s.P50LatencyUS, s.P99LatencyUS, s.QueueDepth, s.Workers)
 }
 
@@ -50,11 +59,14 @@ const latencyWindow = 4096
 // tracker accumulates engine statistics. Counters are atomic; the latency
 // ring is mutex-guarded.
 type tracker struct {
-	start   time.Time
-	done    atomic.Uint64
-	errors  atomic.Uint64
-	shed    atomic.Uint64
-	batches atomic.Uint64
+	start       time.Time
+	done        atomic.Uint64
+	errors      atomic.Uint64
+	shed        atomic.Uint64
+	batches     atomic.Uint64
+	execBatches atomic.Uint64
+	execItems   atomic.Uint64
+	execMax     atomic.Int64
 
 	mu   sync.Mutex
 	ring [latencyWindow]float64 // microseconds
@@ -63,6 +75,18 @@ type tracker struct {
 
 func (t *tracker) recordBatch() {
 	t.batches.Add(1)
+}
+
+// recordExecBatch records one executed micro-batch of n live requests.
+func (t *tracker) recordExecBatch(n int) {
+	t.execBatches.Add(1)
+	t.execItems.Add(uint64(n))
+	for {
+		cur := t.execMax.Load()
+		if int64(n) <= cur || t.execMax.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
 }
 
 func (t *tracker) recordDone(d time.Duration) {
@@ -84,6 +108,11 @@ func (t *tracker) snapshot() Stats {
 	if s.Batches > 0 {
 		s.MeanBatch = float64(s.Requests) / float64(s.Batches)
 	}
+	s.ExecBatches = t.execBatches.Load()
+	if s.ExecBatches > 0 {
+		s.MeanExecBatch = float64(t.execItems.Load()) / float64(s.ExecBatches)
+	}
+	s.MaxExecBatch = int(t.execMax.Load())
 	uptime := time.Since(t.start).Seconds()
 	s.UptimeS = uptime
 	if uptime > 0 {

@@ -8,7 +8,6 @@ import (
 	"fpsa/internal/cgraph"
 	"fpsa/internal/coreop"
 	"fpsa/internal/device"
-	"fpsa/internal/pe"
 	"fpsa/internal/spike"
 )
 
@@ -81,14 +80,14 @@ type RunOptions struct {
 
 // Run executes the program on one input vector of spike counts in [0, Γ]
 // and returns the output counts at the network's output refs. Each call
-// programs a fresh set of PEs (in ModeSpikingNoisy, drawing fresh
+// programs a fresh set of crossbars (in ModeSpikingNoisy, drawing fresh
 // variation from opts.Rng); serving loops that classify many samples
 // should build one Executor instead and reuse its programmed state.
 func (p *Program) Run(input []int, opts RunOptions) ([]int, error) {
 	// Validate before programming so a bad input neither costs a full
 	// programming pass nor advances opts.Rng's variation stream.
 	if err := p.validateInput(input); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("synth: %w", err)
 	}
 	ex, err := NewExecutor(p, opts)
 	if err != nil {
@@ -97,43 +96,42 @@ func (p *Program) Run(input []int, opts RunOptions) ([]int, error) {
 	return ex.Run(input)
 }
 
+// RunBatch executes the program on a whole micro-batch of input vectors,
+// programming each weight group once for the batch (in ModeSpikingNoisy,
+// drawing one set of variation from opts.Rng that every item shares — one
+// physical chip serving the batch) and streaming all items through each
+// stage together. Results are positional and bit-identical to per-item
+// Run calls on an equally programmed Executor. Serving loops should build
+// one Executor and call its RunBatch instead, amortizing programming
+// across batches as well.
+func (p *Program) RunBatch(inputs [][]int, opts RunOptions) ([][]int, error) {
+	for b, in := range inputs {
+		if err := p.validateInput(in); err != nil {
+			return nil, fmt.Errorf("synth: batch item %d: %w", b, err)
+		}
+	}
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	ex, err := NewExecutor(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ex.runBatch(inputs)
+}
+
 // validateInput checks the input vector's length and window range.
 func (p *Program) validateInput(input []int) error {
 	if len(input) != p.InputSize {
-		return fmt.Errorf("synth: input length %d, want %d", len(input), p.InputSize)
+		return fmt.Errorf("input length %d, want %d", len(input), p.InputSize)
 	}
 	window := p.Params.SamplingWindow()
 	for i, v := range input {
 		if v < 0 || v > window {
-			return fmt.Errorf("synth: input[%d] = %d outside [0,%d]", i, v, window)
+			return fmt.Errorf("input[%d] = %d outside [0,%d]", i, v, window)
 		}
 	}
 	return nil
-}
-
-// runStageOn evaluates one core-op on a programmed PE.
-func runStageOn(unit *pe.PE, x []int, opts RunOptions) ([]int, error) {
-	switch opts.Mode {
-	case ModeReference:
-		return unit.ReferenceVMM(x)
-	case ModeSpiking, ModeSpikingNoisy:
-		window := unit.Config().Params.SamplingWindow()
-		trains := make([]spike.Train, len(x))
-		for i, c := range x {
-			trains[i] = spike.UniformTrain(c, window)
-		}
-		outs, err := unit.Simulate(trains)
-		if err != nil {
-			return nil, err
-		}
-		counts := make([]int, len(outs))
-		for i, tr := range outs {
-			counts[i] = tr.Count()
-		}
-		return counts, nil
-	default:
-		return nil, fmt.Errorf("unknown exec mode %d", opts.Mode)
-	}
 }
 
 // FloatReference evaluates the same quantized pipeline in real arithmetic

@@ -4,31 +4,38 @@ import (
 	"fmt"
 
 	"fpsa/internal/device"
-	"fpsa/internal/pe"
+	"fpsa/internal/xbar"
 )
 
 // Executor is a reusable execution context over a Program: every weight
-// group's PE is programmed exactly once, at construction, and reused
-// across Run calls — the way the physical chip programs its crossbars
-// once at deployment and then streams samples through them. Program.Run
-// re-programs on every call; for a serving loop the Executor amortizes
-// that away.
+// group's crossbar is programmed exactly once, at construction, and reused
+// across Run/RunBatch calls — the way the physical chip programs its
+// crossbars once at deployment and then streams samples through them.
+// Program.Run re-programs on every call; for a serving loop the Executor
+// amortizes that away.
 //
-// An Executor is NOT safe for concurrent use: the per-stage input rows
-// and output table are reused between runs, and in noisy mode the
-// programmed variation is the executor's identity. Concurrent callers
-// must hold one Executor per goroutine (see internal/serve), which also
-// matches the hardware — each replica chip carries its own programming
-// variation.
+// Execution is batched end to end: RunBatch walks the stage list once per
+// micro-batch, evaluating every batch item on a stage's crossbar before
+// moving to the next stage (via the internal/xbar batch kernels), instead
+// of re-walking all stages per item. Run is the batch-of-one special
+// case.
+//
+// An Executor is NOT safe for concurrent use: the per-stage input and
+// output tables are reused between runs, and in noisy mode the programmed
+// variation is the executor's identity. Concurrent callers must hold one
+// Executor per goroutine (see internal/serve), which also matches the
+// hardware — each replica chip carries its own programming variation.
 type Executor struct {
 	prog  *Program
 	opts  RunOptions
-	units map[int]*pe.PE
-	// ins[si] is stage si's input row, sized once at construction and
-	// refilled each run; scratch[si] holds stage si's latest output for
-	// downstream refs.
-	ins     [][]int
-	scratch [][]int
+	units map[int]*xbar.Crossbar
+	// stageCols[si] is the output width of stage si's weight group.
+	stageCols []int
+	// ins[si] is stage si's flat batch×rows input buffer; outs[si] its
+	// flat batch×cols output, read by downstream refs. Both are grown on
+	// demand and reused across runs.
+	ins  [][]int
+	outs [][]int
 }
 
 // NewExecutor programs every weight group of p under opts and returns the
@@ -47,33 +54,32 @@ func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
 		return nil, fmt.Errorf("synth: ModeSpikingNoisy requires RunOptions.Rng")
 	}
 	opts.Spec = spec
-	cfg := pe.Config{
+	cfg := xbar.Config{
 		Params: p.Params,
 		Spec:   spec,
 		Rep:    device.NewAdd(spec, p.Params.CellsPerWeight),
 	}
 	ex := &Executor{
-		prog:    p,
-		opts:    opts,
-		units:   make(map[int]*pe.PE, len(p.Graph.Groups)),
-		ins:     make([][]int, len(p.Stages)),
-		scratch: make([][]int, len(p.Stages)),
-	}
-	for si, st := range p.Stages {
-		ex.ins[si] = make([]int, len(st.InRefs))
+		prog:      p,
+		opts:      opts,
+		units:     make(map[int]*xbar.Crossbar, len(p.Graph.Groups)),
+		stageCols: make([]int, len(p.Stages)),
+		ins:       make([][]int, len(p.Stages)),
+		outs:      make([][]int, len(p.Stages)),
 	}
 	// Weight groups are shared across stages (conv positions): program
-	// each group's PE once, in first-use stage order, exactly as the chip
-	// holds one physical crossbar per group copy.
+	// each group's crossbar once, in first-use stage order, exactly as
+	// the chip holds one physical crossbar per group copy.
 	for si, st := range p.Stages {
+		grp := p.Graph.Groups[st.GroupID]
+		ex.stageCols[si] = grp.Cols
 		if _, ok := ex.units[st.GroupID]; ok {
 			continue
 		}
-		grp := p.Graph.Groups[st.GroupID]
 		c := cfg
 		c.Eta = grp.Eta
-		u := pe.New(c)
-		if err := u.Program(grp.Weights, opts.Rng); err != nil {
+		u, err := xbar.Program(c, grp.Weights, opts.Rng)
+		if err != nil {
 			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
 		}
 		ex.units[st.GroupID] = u
@@ -84,43 +90,108 @@ func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
 // Mode returns the execution mode the Executor was programmed for.
 func (e *Executor) Mode() ExecMode { return e.opts.Mode }
 
+// Validate checks one input vector's length and window range without
+// executing anything — the pre-flight the serving engine runs so one bad
+// request cannot fail a whole micro-batch.
+func (e *Executor) Validate(input []int) error {
+	if err := e.prog.validateInput(input); err != nil {
+		return fmt.Errorf("synth: %w", err)
+	}
+	return nil
+}
+
 // Run executes the program on one input vector of spike counts in [0, Γ]
 // and returns the output counts at the network's output refs. The
-// returned slice is freshly allocated; per-stage input rows are reused
-// across runs.
+// returned slice is freshly allocated; per-stage buffers are reused
+// across runs. Run is RunBatch with a batch of one.
 func (e *Executor) Run(input []int) ([]int, error) {
-	p := e.prog
-	if err := p.validateInput(input); err != nil {
+	if err := e.Validate(input); err != nil {
 		return nil, err
 	}
+	outs, err := e.runBatch([][]int{input})
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// RunBatch executes the program on a micro-batch of input vectors and
+// returns one freshly allocated output-count slice per input, positionally.
+// The whole batch advances through the stage list together: each stage's
+// crossbar evaluates every item (one batched kernel call) before the next
+// stage runs, so a weight group's programmed state is touched once per
+// batch rather than once per item. Outputs are bit-identical to len(inputs)
+// independent Run calls in every execution mode.
+func (e *Executor) RunBatch(inputs [][]int) ([][]int, error) {
+	for b, in := range inputs {
+		if err := e.prog.validateInput(in); err != nil {
+			return nil, fmt.Errorf("synth: batch item %d: %w", b, err)
+		}
+	}
+	return e.runBatch(inputs)
+}
+
+// growInts returns buf resized to n, reusing capacity.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// runBatch is the validated batch execution path.
+func (e *Executor) runBatch(inputs [][]int) ([][]int, error) {
+	p := e.prog
+	B := len(inputs)
+	if B == 0 {
+		return nil, nil
+	}
 	for si, st := range p.Stages {
-		grp := p.Graph.Groups[st.GroupID]
-		x := e.ins[si]
-		for r, ref := range st.InRefs {
-			switch {
-			case ref.Stage == ExternalStage:
-				x[r] = input[ref.Col]
-			case ref.Stage == ZeroStage:
-				x[r] = 0
-			case ref.Stage >= 0 && ref.Stage < si:
-				x[r] = e.scratch[ref.Stage][ref.Col]
-			default:
-				return nil, fmt.Errorf("synth: stage %d row %d references stage %d", si, r, ref.Stage)
+		n := len(st.InRefs)
+		x := growInts(e.ins[si], B*n)
+		e.ins[si] = x
+		for b, in := range inputs {
+			row := x[b*n : (b+1)*n]
+			for r, ref := range st.InRefs {
+				switch {
+				case ref.Stage == ExternalStage:
+					row[r] = in[ref.Col]
+				case ref.Stage == ZeroStage:
+					row[r] = 0
+				case ref.Stage >= 0 && ref.Stage < si:
+					row[r] = e.outs[ref.Stage][b*e.stageCols[ref.Stage]+ref.Col]
+				default:
+					return nil, fmt.Errorf("synth: stage %d row %d references stage %d", si, r, ref.Stage)
+				}
 			}
 		}
-		out, err := runStageOn(e.units[st.GroupID], x, e.opts)
+		out := growInts(e.outs[si], B*e.stageCols[si])
+		e.outs[si] = out
+		unit := e.units[st.GroupID]
+		var err error
+		switch e.opts.Mode {
+		case ModeReference:
+			err = unit.ReferenceBatch(out, x, B)
+		case ModeSpiking, ModeSpikingNoisy:
+			err = unit.SimulateCountsBatch(out, x, B)
+		default:
+			err = fmt.Errorf("unknown exec mode %d", e.opts.Mode)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
+			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, p.Graph.Groups[st.GroupID].Name, err)
 		}
-		e.scratch[si] = out
 	}
-	result := make([]int, len(p.OutputRefs))
-	for i, ref := range p.OutputRefs {
-		if ref.Stage == ExternalStage {
-			result[i] = input[ref.Col]
-			continue
+	results := make([][]int, B)
+	for b := range results {
+		res := make([]int, len(p.OutputRefs))
+		for i, ref := range p.OutputRefs {
+			if ref.Stage == ExternalStage {
+				res[i] = inputs[b][ref.Col]
+				continue
+			}
+			res[i] = e.outs[ref.Stage][b*e.stageCols[ref.Stage]+ref.Col]
 		}
-		result[i] = e.scratch[ref.Stage][ref.Col]
+		results[b] = res
 	}
-	return result, nil
+	return results, nil
 }

@@ -1,0 +1,398 @@
+// Package xbar is the shared batched crossbar kernel behind the
+// functional execution stack (internal/pe, internal/synth,
+// internal/serve). It models one programmed ReRAM crossbar — the PE's
+// compute core (paper §4.2) — as flat row-major []float64 buffers and
+// evaluates whole micro-batches of input vectors per call, which is where
+// ReRAM throughput actually comes from: the programming cost of a weight
+// matrix is amortized across every vector that streams through it.
+//
+// Three views of the same computation are provided, from fastest to most
+// circuit-faithful, and the callers' test suites prove they agree with the
+// historical per-item paths bit for bit:
+//
+//  1. VMMBatch: the raw blocked batched vector-matrix product on flat
+//     buffers — the hot loop everything else is built from.
+//  2. Crossbar.ReferenceBatch: the integer reference semantics
+//     Y_j = clamp(max(0, floor(P_j/η) − floor(N_j/η)), Γ) over a batch.
+//  3. Crossbar.SimulateCountsBatch / SimulateTrains: the cycle-level
+//     spiking simulation (ideal accumulate-and-fire neurons and spike
+//     subtracters, or a caller-supplied neuron model).
+//
+// A Crossbar's batch methods reuse internal scratch buffers and are NOT
+// safe for concurrent use — hold one Crossbar (or one synth.Executor) per
+// goroutine, exactly as each replica chip carries its own programmed
+// arrays.
+package xbar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fpsa/internal/device"
+	"fpsa/internal/spike"
+)
+
+// rowBlock is the VMMBatch tile height: a rowBlock×cols weight panel is
+// streamed against every batch item before moving to the next panel, so
+// the panel stays cache-hot across the whole batch.
+const rowBlock = 32
+
+// VMMBatch computes the batched vector-matrix product
+//
+//	out[b*cols+j] = Σ_i in[b*rows+i] · weights[i*cols+j]
+//
+// over flat row-major buffers: in is batch×rows, weights is rows×cols,
+// out is batch×cols (overwritten). The loop is blocked over weight rows
+// and accumulates in float64; for integer-valued operands below 2^53 the
+// result is exact regardless of blocking, which is what lets the integer
+// reference semantics ride on the float kernel unchanged.
+func VMMBatch(out, weights, in []float64, batch, rows, cols int) {
+	if batch == 0 || rows == 0 || cols == 0 {
+		return
+	}
+	_ = out[batch*cols-1]
+	_ = in[batch*rows-1]
+	_ = weights[rows*cols-1]
+	for k := range out[:batch*cols] {
+		out[k] = 0
+	}
+	for i0 := 0; i0 < rows; i0 += rowBlock {
+		i1 := i0 + rowBlock
+		if i1 > rows {
+			i1 = rows
+		}
+		for b := 0; b < batch; b++ {
+			x := in[b*rows : (b+1)*rows]
+			o := out[b*cols : (b+1)*cols]
+			for i := i0; i < i1; i++ {
+				xv := x[i]
+				if xv == 0 {
+					continue
+				}
+				w := weights[i*cols : (i+1)*cols]
+				for j, wv := range w {
+					o[j] += xv * wv
+				}
+			}
+		}
+	}
+}
+
+// Config parameterizes crossbar programming. It mirrors pe.Config so the
+// PE model and the executor program identical devices.
+type Config struct {
+	// Params supplies crossbar geometry and the sampling window.
+	Params device.Params
+	// Spec is the ReRAM cell used.
+	Spec device.CellSpec
+	// Rep maps logical weight magnitudes onto parallel cells.
+	Rep device.Representation
+	// Eta is the neuron threshold η in conductance units; zero means
+	// "use Rep.MaxWeight()".
+	Eta float64
+}
+
+// Stepper is the common surface of the neuron models SimulateTrains can
+// drive (the ideal accumulate-and-fire neuron or the RC voltage neuron).
+type Stepper interface {
+	Step(drive float64) bool
+	Reset()
+}
+
+// Crossbar is one programmed crossbar: the ideal integer weights split by
+// polarity (reference path) and the programmed — possibly noisy —
+// conductances (spiking path), all in flat row-major buffers.
+type Crossbar struct {
+	rows, cols int
+	eta        float64
+	window     int
+
+	// posW/negW hold the ideal |weight| magnitudes by polarity,
+	// row-major rows×cols, as exact float64 integers.
+	posW, negW []float64
+	// posG/negG hold the programmed conductance sums (level units,
+	// possibly with variation), row-major rows×cols.
+	posG, negG []float64
+
+	// Scratch reused across batch calls (not concurrency-safe).
+	xf         []float64 // batch×rows float inputs
+	accP, accN []float64 // batch×cols reference accumulators
+	drvP, drvN []float64 // cols per-cycle drives
+	memP, memN []float64 // cols neuron membrane accumulators
+	debt       []int     // cols subtracter debts
+	trains     []bool    // rows×window spike trains for one item
+}
+
+// Program writes a logical weight matrix weights[i][j] (row-major,
+// rows × cols, integers in [−Rep.MaxWeight(), Rep.MaxWeight()]) into a
+// fresh crossbar. Positive parts go to the positive polarity, negative
+// magnitudes to the negative one. A nil rng programs ideal conductances;
+// otherwise each cell draws Gaussian programming variation from rng in
+// column-major (j, then i, positive before negative) order — the draw
+// order the historical PE model used, so seeded variation streams
+// reproduce bit for bit.
+func Program(cfg Config, weights [][]int, rng *rand.Rand) (*Crossbar, error) {
+	rows := len(weights)
+	if rows == 0 || len(weights[0]) == 0 {
+		return nil, fmt.Errorf("xbar: empty weight matrix")
+	}
+	cols := len(weights[0])
+	if rows > cfg.Params.CrossbarRows {
+		return nil, fmt.Errorf("xbar: %d rows exceed crossbar rows %d", rows, cfg.Params.CrossbarRows)
+	}
+	if cols > cfg.Params.LogicalColumns() {
+		return nil, fmt.Errorf("xbar: %d cols exceed logical columns %d", cols, cfg.Params.LogicalColumns())
+	}
+	maxW := cfg.Rep.MaxWeight()
+	for i := range weights {
+		if len(weights[i]) != cols {
+			return nil, fmt.Errorf("xbar: ragged weight matrix at row %d", i)
+		}
+	}
+	eta := cfg.Eta
+	if eta <= 0 {
+		eta = float64(maxW)
+	}
+	c := &Crossbar{
+		rows:   rows,
+		cols:   cols,
+		eta:    eta,
+		window: cfg.Params.SamplingWindow(),
+		posW:   make([]float64, rows*cols),
+		negW:   make([]float64, rows*cols),
+		posG:   make([]float64, rows*cols),
+		negG:   make([]float64, rows*cols),
+	}
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			w := weights[i][j]
+			if w > maxW || w < -maxW {
+				return nil, fmt.Errorf("xbar: weight %d at (%d,%d) exceeds |%d|", w, i, j, maxW)
+			}
+			pos, neg := 0, 0
+			if w >= 0 {
+				pos = w
+			} else {
+				neg = -w
+			}
+			k := i*cols + j
+			c.posW[k] = float64(pos)
+			c.negW[k] = float64(neg)
+			c.posG[k] = device.ProgramWeight(cfg.Rep, cfg.Spec, pos, rng)
+			c.negG[k] = device.ProgramWeight(cfg.Rep, cfg.Spec, neg, rng)
+		}
+	}
+	return c, nil
+}
+
+// Rows reports the programmed logical row count.
+func (c *Crossbar) Rows() int { return c.rows }
+
+// Cols reports the programmed logical column count.
+func (c *Crossbar) Cols() int { return c.cols }
+
+// Eta returns the neuron threshold η.
+func (c *Crossbar) Eta() float64 { return c.eta }
+
+// Window returns the sampling window Γ.
+func (c *Crossbar) Window() int { return c.window }
+
+// SetEta overrides the neuron threshold η.
+func (c *Crossbar) SetEta(eta float64) { c.eta = eta }
+
+// grow returns buf resized to n, reusing capacity.
+func grow[T float64 | bool | int](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// checkBatch validates a flat batch buffer pair.
+func (c *Crossbar) checkBatch(dst, src []int, batch int) error {
+	if len(src) != batch*c.rows {
+		return fmt.Errorf("xbar: input length %d, want %d (batch %d × %d rows)", len(src), batch*c.rows, batch, c.rows)
+	}
+	if len(dst) != batch*c.cols {
+		return fmt.Errorf("xbar: output length %d, want %d (batch %d × %d cols)", len(dst), batch*c.cols, batch, c.cols)
+	}
+	return nil
+}
+
+// ReferenceBatch computes the integer reference output for a batch of
+// spike-count vectors: dst[b*cols+j] = clamp(max(0, floor(P/η) −
+// floor(N/η)), Γ), with P/N the positive and negative drive sums of item
+// b's inputs against the ideal logical weights. src is flat batch×rows,
+// dst flat batch×cols. The per-element semantics equal the historical
+// one-vector reference path exactly: all intermediate values are integers
+// far below 2^53, so the float accumulation is exact.
+func (c *Crossbar) ReferenceBatch(dst, src []int, batch int) error {
+	if batch == 0 {
+		return nil
+	}
+	if err := c.checkBatch(dst, src, batch); err != nil {
+		return err
+	}
+	c.xf = grow(c.xf, batch*c.rows)
+	for k, v := range src {
+		c.xf[k] = float64(v)
+	}
+	c.accP = grow(c.accP, batch*c.cols)
+	c.accN = grow(c.accN, batch*c.cols)
+	VMMBatch(c.accP, c.posW, c.xf, batch, c.rows, c.cols)
+	VMMBatch(c.accN, c.negW, c.xf, batch, c.rows, c.cols)
+	for k := range dst {
+		y := int(c.accP[k]/c.eta) - int(c.accN[k]/c.eta)
+		if y < 0 {
+			y = 0
+		}
+		dst[k] = spike.Clamp(y, c.window)
+	}
+	return nil
+}
+
+// SimulateCountsBatch runs the cycle-level spiking simulation with ideal
+// accumulate-and-fire neurons for a batch of spike-count vectors: each
+// input count becomes a uniform train (the SMB spike-generator pattern),
+// the programmed — possibly noisy — conductances drive the column
+// neurons cycle by cycle, and dst receives the subtracter output counts.
+// src is flat batch×rows, dst flat batch×cols. Per item it reproduces
+// UniformTrain → Simulate → Count on the historical PE bit for bit; the
+// batch win is locality (one crossbar's conductances stay hot across the
+// whole batch).
+func (c *Crossbar) SimulateCountsBatch(dst, src []int, batch int) error {
+	if batch == 0 {
+		return nil
+	}
+	if err := c.checkBatch(dst, src, batch); err != nil {
+		return err
+	}
+	window := c.window
+	c.trains = grow(c.trains, c.rows*window)
+	c.drvP = grow(c.drvP, c.cols)
+	c.drvN = grow(c.drvN, c.cols)
+	c.memP = grow(c.memP, c.cols)
+	c.memN = grow(c.memN, c.cols)
+	c.debt = grow(c.debt, c.cols)
+	for b := 0; b < batch; b++ {
+		counts := src[b*c.rows : (b+1)*c.rows]
+		out := dst[b*c.cols : (b+1)*c.cols]
+		// Bresenham-style even spacing, exactly spike.UniformTrain.
+		for i, count := range counts {
+			count = spike.Clamp(count, window)
+			tr := c.trains[i*window : (i+1)*window]
+			acc := 0
+			for t := range tr {
+				acc += count
+				if acc >= window {
+					acc -= window
+					tr[t] = true
+				} else {
+					tr[t] = false
+				}
+			}
+		}
+		for j := 0; j < c.cols; j++ {
+			out[j] = 0
+			c.memP[j], c.memN[j] = 0, 0
+			c.debt[j] = 0
+		}
+		for t := 0; t < window; t++ {
+			for j := range c.drvP {
+				c.drvP[j], c.drvN[j] = 0, 0
+			}
+			// Row-major accumulation: for each firing row, add its
+			// conductance row across all columns. For any fixed column
+			// this sums the same conductances in the same (ascending
+			// row) order as the historical column-major loop, so the
+			// float results are identical.
+			for i := 0; i < c.rows; i++ {
+				if !c.trains[i*window+t] {
+					continue
+				}
+				pg := c.posG[i*c.cols : (i+1)*c.cols]
+				ng := c.negG[i*c.cols : (i+1)*c.cols]
+				for j := range c.drvP {
+					c.drvP[j] += pg[j]
+					c.drvN[j] += ng[j]
+				}
+			}
+			for j := 0; j < c.cols; j++ {
+				// Ideal accumulate-and-fire (spike.Neuron.Step) on both
+				// polarities, then the spike subtracter
+				// (spike.Subtracter.Step) inline.
+				sp := false
+				if c.memP[j] += c.drvP[j]; c.memP[j] >= c.eta {
+					c.memP[j] -= c.eta
+					sp = true
+				}
+				sn := false
+				if c.memN[j] += c.drvN[j]; c.memN[j] >= c.eta {
+					c.memN[j] -= c.eta
+					sn = true
+				}
+				if sn {
+					c.debt[j]++
+				}
+				if sp {
+					if c.debt[j] > 0 {
+						c.debt[j]--
+					} else {
+						out[j]++
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SimulateTrains runs the cycle-level simulation over one sampling window
+// of explicit input spike trains with a caller-supplied neuron model,
+// returning the output spike trains of the subtracters. This is the
+// train-level single-shot path behind pe.Simulate and pe.SimulateRC; the
+// drive accumulation order matches SimulateCountsBatch.
+func (c *Crossbar) SimulateTrains(inputs []spike.Train, newNeuron func(eta float64) Stepper) ([]spike.Train, error) {
+	if len(inputs) != c.rows {
+		return nil, fmt.Errorf("xbar: %d input trains, want %d", len(inputs), c.rows)
+	}
+	window := c.window
+	for i, tr := range inputs {
+		if tr.Window() != window {
+			return nil, fmt.Errorf("xbar: input %d window %d, want %d", i, tr.Window(), window)
+		}
+	}
+	posN := make([]Stepper, c.cols)
+	negN := make([]Stepper, c.cols)
+	subs := make([]spike.Subtracter, c.cols)
+	outs := make([]spike.Train, c.cols)
+	for j := range outs {
+		posN[j] = newNeuron(c.eta)
+		negN[j] = newNeuron(c.eta)
+		outs[j] = spike.NewTrain(window)
+	}
+	c.drvP = grow(c.drvP, c.cols)
+	c.drvN = grow(c.drvN, c.cols)
+	for t := 0; t < window; t++ {
+		for j := range c.drvP {
+			c.drvP[j], c.drvN[j] = 0, 0
+		}
+		for i := 0; i < c.rows; i++ {
+			if !inputs[i][t] {
+				continue
+			}
+			pg := c.posG[i*c.cols : (i+1)*c.cols]
+			ng := c.negG[i*c.cols : (i+1)*c.cols]
+			for j := range c.drvP {
+				c.drvP[j] += pg[j]
+				c.drvN[j] += ng[j]
+			}
+		}
+		for j := 0; j < c.cols; j++ {
+			sp := posN[j].Step(c.drvP[j])
+			sn := negN[j].Step(c.drvN[j])
+			outs[j][t] = subs[j].Step(sp, sn)
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,171 @@
+package fpsa
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"fpsa/internal/synth"
+)
+
+// ServingBenchOptions shapes the serving-throughput experiment: the MLP
+// serving workload evaluated three ways — per-item executor runs, whole
+// micro-batches through the batched kernel, and the concurrent engine.
+type ServingBenchOptions struct {
+	// Batch is the micro-batch size for the batched paths. 0 means 16.
+	Batch int
+	// Workers sizes the engine's worker pool. 0 means 4.
+	Workers int
+	// Samples is how many classifications each path performs. 0 means
+	// 512.
+	Samples int
+	// Mode selects the execution semantics. The zero value is
+	// ModeReference; the rendered fpsa-bench artifact uses ModeSpiking,
+	// the serving default.
+	Mode ExecMode
+	// Seed fixes the dataset/training seed. 0 means 7.
+	Seed int64
+}
+
+func (o ServingBenchOptions) withDefaults() ServingBenchOptions {
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Samples <= 0 {
+		o.Samples = 512
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// ServingBenchResult reports the measured serving throughput of the
+// three execution paths over the same deployed network and sample set.
+type ServingBenchResult struct {
+	Options ServingBenchOptions
+	// SerialSPS is samples/s of a single executor looping Run per item.
+	SerialSPS float64
+	// BatchedSPS is samples/s of the same executor consuming the sample
+	// set in RunBatch micro-batches of Options.Batch.
+	BatchedSPS float64
+	// EngineSPS is samples/s of the concurrent engine (Options.Workers
+	// workers, MaxBatch = Options.Batch) under saturating batch load.
+	EngineSPS float64
+	// BatchSpeedup is BatchedSPS / SerialSPS: the kernel-level win of
+	// batched execution on one replica, independent of concurrency.
+	BatchSpeedup float64
+	// EngineStats snapshots the engine run's serving counters.
+	EngineStats EngineStats
+}
+
+// String renders the result as a fpsa-bench artifact.
+func (r ServingBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving throughput (MLP 16-24-4, %d samples, mode %v, batch %d, %d workers)\n",
+		r.Options.Samples, r.Options.Mode, r.Options.Batch, r.Options.Workers)
+	fmt.Fprintf(&b, "  serial  (Run per item):        %10.1f samples/s\n", r.SerialSPS)
+	fmt.Fprintf(&b, "  batched (RunBatch, 1 replica): %10.1f samples/s   %.2fx serial\n", r.BatchedSPS, r.BatchSpeedup)
+	engineSpeedup := 0.0
+	if r.SerialSPS > 0 {
+		engineSpeedup = r.EngineSPS / r.SerialSPS
+	}
+	fmt.Fprintf(&b, "  engine  (%d workers):           %10.1f samples/s   %.2fx serial\n", r.Options.Workers, r.EngineSPS, engineSpeedup)
+	fmt.Fprintf(&b, "  engine stats: %s\n", r.EngineStats)
+	return b.String()
+}
+
+// ServingBench trains and deploys the standard MLP serving workload and
+// measures the three serving paths. It is the measured counterpart of the
+// paper's throughput story (§6): batching is where crossbar throughput
+// comes from, and the engine stacks worker parallelism on top.
+func ServingBench(opts ServingBenchOptions) (ServingBenchResult, error) {
+	opts = opts.withDefaults()
+	res := ServingBenchResult{Options: opts}
+	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
+	train, _ := ds.Split(2.0 / 3)
+	net, err := TrainMLP(opts.Seed, []int{16, 24, 4}, train, 30)
+	if err != nil {
+		return res, err
+	}
+	sn, err := net.Deploy()
+	if err != nil {
+		return res, err
+	}
+	mode, err := opts.Mode.synthMode()
+	if err != nil {
+		return res, err
+	}
+	window := sn.Window()
+	inputs := make([][]int, opts.Samples)
+	for i := range inputs {
+		inputs[i] = synth.QuantizeInput(train.X[i%len(train.X)], window)
+	}
+
+	ex, err := synth.NewExecutor(sn.prog, synth.RunOptions{Mode: mode})
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	for _, in := range inputs {
+		if _, err := ex.Run(in); err != nil {
+			return res, err
+		}
+	}
+	res.SerialSPS = rate(opts.Samples, time.Since(start))
+
+	start = time.Now()
+	for i := 0; i < len(inputs); i += opts.Batch {
+		end := i + opts.Batch
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		if _, err := ex.RunBatch(inputs[i:end]); err != nil {
+			return res, err
+		}
+	}
+	res.BatchedSPS = rate(opts.Samples, time.Since(start))
+	if res.SerialSPS > 0 {
+		res.BatchSpeedup = res.BatchedSPS / res.SerialSPS
+	}
+
+	eng, err := NewEngine(sn, EngineConfig{Workers: opts.Workers, MaxBatch: opts.Batch, Mode: opts.Mode})
+	if err != nil {
+		return res, err
+	}
+	defer eng.Close()
+	features := make([][]float64, opts.Samples)
+	for i := range features {
+		features[i] = train.X[i%len(train.X)]
+	}
+	start = time.Now()
+	if _, err := eng.ClassifyBatch(context.Background(), features); err != nil {
+		return res, err
+	}
+	res.EngineSPS = rate(opts.Samples, time.Since(start))
+	res.EngineStats = eng.Stats()
+	return res, nil
+}
+
+// rate converts a count over a duration into events/second.
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// RunServingExperiment renders the serving-throughput artifact; batch ≤ 0
+// uses the default micro-batch size. It backs fpsa-bench's "serving"
+// experiment and its -batch flag.
+func RunServingExperiment(batch int) (string, error) {
+	r, err := ServingBench(ServingBenchOptions{Batch: batch, Mode: ModeSpiking})
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
