@@ -1,12 +1,15 @@
 // Command fpsa-bench regenerates the paper's evaluation artifacts: every
-// table and figure, rendered as text with paper-vs-measured annotations.
+// table and figure, rendered as text with paper-vs-measured annotations,
+// plus the measured serving artifacts (single-chip micro-batching and the
+// multi-chip sharded pipeline).
 //
 // Usage:
 //
-//	fpsa-bench                        # run everything
-//	fpsa-bench -exp figure8           # one artifact
-//	fpsa-bench -exp serving -batch 32 # serving throughput at batch 32
-//	fpsa-bench -list                  # show artifact IDs
+//	fpsa-bench                         # run everything
+//	fpsa-bench -exp figure8            # one artifact
+//	fpsa-bench -exp serving -batch 32  # serving throughput at batch 32
+//	fpsa-bench -exp sharding           # 1/2/4-chip pipelined serving
+//	fpsa-bench -list                   # show artifact IDs
 package main
 
 import (
@@ -20,23 +23,28 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
-	batch := flag.Int("batch", 0, "micro-batch size for the serving experiment (0 = default 16)")
+	batch := flag.Int("batch", 0, "micro-batch size for the serving and sharding experiments (0 = default 16)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(fpsa.ExperimentIDs(), "\n"))
 		return
 	}
-	serving := strings.ToLower(*exp) == "serving"
-	if *batch != 0 && !serving {
-		fmt.Fprintln(os.Stderr, "fpsa-bench: -batch only applies to -exp serving")
+	id := strings.ToLower(*exp)
+	serving := id == "serving"
+	sharding := id == "sharding"
+	if *batch != 0 && !serving && !sharding {
+		fmt.Fprintln(os.Stderr, "fpsa-bench: -batch only applies to -exp serving or -exp sharding")
 		os.Exit(1)
 	}
 	var out string
 	var err error
-	if serving {
+	switch {
+	case serving:
 		out, err = fpsa.RunServingExperiment(*batch)
-	} else {
+	case sharding:
+		out, err = fpsa.RunShardingExperiment(*batch)
+	default:
 		out, err = fpsa.RunExperiment(*exp)
 	}
 	if err != nil {

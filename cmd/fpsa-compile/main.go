@@ -2,7 +2,9 @@
 // neural synthesis, PE allocation, netlist generation, performance
 // modeling, and (optionally, for small deployments) real placement &
 // routing — multi-seed, parallel, and optionally served from the
-// content-addressed deployment cache.
+// content-addressed deployment cache. With -chips ≥ 2 the model is
+// sharded across that many chips (each placed and routed independently)
+// and the inter-chip links are charged into the performance model.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	fpsa-compile -model MLP-500-100 -pnr
 //	fpsa-compile -model LeNet -dup 4 -pnr -seeds 4 -jobs 4
 //	fpsa-compile -model LeNet -dup 4 -pnr -cache
+//	fpsa-compile -model MLP-500-100 -chips 2 -pnr
+//	fpsa-compile -model MLP-500-100 -chipcap 8 -chips 4
 package main
 
 import (
@@ -29,9 +33,16 @@ func main() {
 	seeds := flag.Int("seeds", 1, "annealing portfolio size (independent placement seeds)")
 	jobs := flag.Int("jobs", 0, "worker goroutines for placement and routing (0 = all cores)")
 	cache := flag.Bool("cache", false, "deploy through a content-addressed cache and show a second, cached deployment (implies -pnr)")
+	chips := flag.Int("chips", 1, "maximum chips to shard the deployment across (1 = single chip)")
+	chipcap := flag.Int("chipcap", 0, "per-chip PE capacity (0 = unbounded; with -chips, shards onto the fewest chips that fit)")
+	policyName := flag.String("policy", "auto", "shard partitioning policy: auto, mincut, or balanced")
 	flag.Parse()
 	if *cache {
 		*pnr = true
+	}
+	policy, err := fpsa.ParseShardPolicy(*policyName)
+	if err != nil {
+		fail(err)
 	}
 
 	m, err := fpsa.LoadBenchmark(*model)
@@ -41,7 +52,10 @@ func main() {
 	fmt.Printf("model %s: %d weights, %d ops/sample, %d graph nodes\n",
 		m.Name(), m.Weights(), m.Ops(), m.Layers())
 
-	cfg := fpsa.Config{Duplication: *dup, Seed: *seed, PlacementSeeds: *seeds, Parallelism: *jobs}
+	cfg := fpsa.Config{
+		Duplication: *dup, Seed: *seed, PlacementSeeds: *seeds, Parallelism: *jobs,
+		MaxChips: *chips, ChipCapacity: *chipcap, ShardPolicy: policy,
+	}
 	if *cache {
 		cfg.Cache = fpsa.NewCompileCache(0)
 	}
@@ -53,6 +67,12 @@ func main() {
 	pes, smbs, clbs := d.Blocks()
 	fmt.Printf("synthesized: %d weight groups, %d core-ops/sample\n", groups, coreOps)
 	fmt.Printf("netlist: %d PEs, %d SMBs, %d CLBs; chip area %.2f mm2\n", pes, smbs, clbs, d.AreaMM2())
+	if shards := d.Shards(); shards != nil {
+		fmt.Printf("sharded across %d chips (%v policy):\n", d.Chips(), policy)
+		for _, sh := range shards {
+			fmt.Printf("  %s\n", sh)
+		}
+	}
 
 	p, err := d.Performance()
 	if err != nil {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	fpsa-serve -addr :8080 -workers 4 -batch 8 -mode spiking
+//	fpsa-serve -chips 2                # sharded: pipelined across 2 chips
 //
 // Endpoints:
 //
@@ -39,6 +40,7 @@ func main() {
 	queue := flag.Int("queue", 1024, "request queue depth")
 	modeName := flag.String("mode", "spiking", "exec mode: reference, spiking, or noisy")
 	epochs := flag.Int("epochs", 40, "training epochs")
+	chips := flag.Int("chips", 1, "serve as a sharded deployment pipelined across this many chips (1 = single chip)")
 	flag.Parse()
 
 	mode, err := parseMode(*modeName)
@@ -70,9 +72,13 @@ func main() {
 		FlushInterval: *flush,
 		QueueDepth:    *queue,
 		Mode:          mode,
+		Chips:         *chips,
 	})
 	if err != nil {
 		fail(err)
+	}
+	if eng.Chips() > 1 {
+		log.Printf("sharded deployment: pipelined across %d chips", eng.Chips())
 	}
 
 	mux := http.NewServeMux()
@@ -87,6 +93,7 @@ func main() {
 			"window":  sn.Window(),
 			"stages":  sn.Stages(),
 			"mode":    *modeName,
+			"chips":   eng.Chips(),
 		})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

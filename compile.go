@@ -2,6 +2,7 @@ package fpsa
 
 import (
 	"fmt"
+	"sync"
 
 	"fpsa/internal/bitstream"
 	"fpsa/internal/compilecache"
@@ -13,6 +14,7 @@ import (
 	"fpsa/internal/perf"
 	"fpsa/internal/place"
 	"fpsa/internal/route"
+	"fpsa/internal/shard"
 	"fpsa/internal/synth"
 )
 
@@ -42,8 +44,26 @@ type Config struct {
 	// cache-hit PlaceAndRoute skips both phases entirely and Bitstream is
 	// generated at most once per deployment key. Share one cache across
 	// every Compile in the process (see NewCompileCache and
-	// DeployCache.Artifacts).
+	// DeployCache.Artifacts). Each shard of a multi-chip deployment is a
+	// separate cache entry, so shards compile, cache and revalidate
+	// independently.
 	Cache *CompileCache
+	// MaxChips allows the deployment to span up to this many chips
+	// (0 or 1 = the classic single-chip compile). A model whose PE
+	// demand exceeds ChipCapacity is an error on one chip; with
+	// MaxChips ≥ 2 the core-op graph is partitioned across chips
+	// instead (see ShardPolicy) and each chip is placed, routed and
+	// configured independently. With ChipCapacity 0 the model is spread
+	// over exactly MaxChips chips (clamped to the group count).
+	MaxChips int
+	// ChipCapacity bounds one chip's PE count (0 = unbounded). The
+	// evaluated fabric has no hard limit — area simply grows — so the
+	// bound is a deployment policy: the reticle/yield-limited die size a
+	// fleet actually fabricates.
+	ChipCapacity int
+	// ShardPolicy selects the multi-chip partitioning objective
+	// (ShardAuto = minimal inter-chip traffic for compilation).
+	ShardPolicy ShardPolicy
 }
 
 // DefaultConfig returns a 1× deployment on the default fabric.
@@ -58,6 +78,11 @@ type Deployment struct {
 	nl     *netlist.Netlist
 	params device.Params
 
+	// Multi-chip partition (MaxChips ≥ 2): the group-chain plan and one
+	// compiled sub-deployment per chip. Empty for single-chip.
+	plan   *shard.Plan
+	shards []*deployShard
+
 	// Last place & route artifacts (set by PlaceAndRoute), consumed by
 	// Bitstream. lastArtifacts additionally memoizes the generated
 	// bitstream — per deployment when uncached, shared across every
@@ -70,7 +95,21 @@ type Deployment struct {
 	lastArtifacts *compilecache.Artifacts
 }
 
-// Compile synthesizes, allocates and maps a model.
+// deployShard is one chip's slice of a sharded deployment: the sub
+// core-op graph (cross-chip dependencies lifted to chip I/O), its slice
+// of the global allocation, its netlist, and — after PlaceAndRoute — its
+// own artifacts.
+type deployShard struct {
+	lo, hi    int // global group ID range [lo, hi)
+	co        *coreop.Graph
+	alloc     mapper.Allocation
+	nl        *netlist.Netlist
+	artifacts *compilecache.Artifacts
+}
+
+// Compile synthesizes, allocates and maps a model. With Config.MaxChips
+// ≥ 2 (or when ChipCapacity forces it) the model is additionally
+// partitioned into per-chip shards, each with its own netlist.
 func Compile(m Model, cfg Config) (*Deployment, error) {
 	if err := m.valid(); err != nil {
 		return nil, err
@@ -81,6 +120,9 @@ func Compile(m Model, cfg Config) (*Deployment, error) {
 	if cfg.PlacementSeeds <= 0 {
 		cfg.PlacementSeeds = 1
 	}
+	if cfg.MaxChips <= 0 {
+		cfg.MaxChips = 1
+	}
 	params := device.Params45nm
 	co, err := synth.Synthesize(m.graph, synth.Options{Params: params})
 	if err != nil {
@@ -90,19 +132,167 @@ func Compile(m Model, cfg Config) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	nl, err := mapper.BuildNetlist(co, alloc, params, nil)
-	if err != nil {
-		return nil, err
+	d := &Deployment{model: m, cfg: cfg, coreop: co, alloc: alloc, params: params}
+	if cfg.ChipCapacity > 0 && alloc.TotalPEs > cfg.ChipCapacity && cfg.MaxChips <= 1 {
+		return nil, fmt.Errorf("fpsa: model %s needs %d PEs, exceeding one chip's capacity of %d; set Config.MaxChips ≥ 2 to shard it",
+			m.Name(), alloc.TotalPEs, cfg.ChipCapacity)
 	}
-	return &Deployment{model: m, cfg: cfg, coreop: co, alloc: alloc, nl: nl, params: params}, nil
+	if cfg.MaxChips > 1 {
+		if err := d.shardify(); err != nil {
+			return nil, err
+		}
+	}
+	if len(d.shards) == 0 {
+		nl, err := mapper.BuildNetlist(co, alloc, params, nil)
+		if err != nil {
+			return nil, err
+		}
+		d.nl = nl
+	}
+	return d, nil
 }
 
-// Blocks returns the function-block inventory.
-func (d *Deployment) Blocks() (pes, smbs, clbs int) { return d.nl.Counts() }
+// shardify partitions the core-op group chain across chips and builds
+// one netlist per shard. Groups are in topological order, so contiguous
+// segments always yield a feed-forward chip pipeline; per-group load is
+// its allocated PE copies and a producer's per-sample output traffic
+// (reuse × columns) is charged on every link it crosses.
+func (d *Deployment) shardify() error {
+	groups := d.coreop.Groups
+	n := len(groups)
+	weights := make([]int, n)
+	for i := range groups {
+		weights[i] = d.alloc.Dup[i]
+	}
+	lastUse := make([]int, n)
+	hasDeps := make([]bool, n)
+	for i := range lastUse {
+		lastUse[i] = i
+	}
+	for vi, grp := range groups {
+		for _, ui := range grp.Deps {
+			if vi > lastUse[ui] {
+				lastUse[ui] = vi
+			}
+			hasDeps[vi] = true
+		}
+	}
+	var signals []shard.Signal
+	for i, grp := range groups {
+		// Per-sample value traffic out of the group; consumer-less
+		// groups carry the model's outputs off the last chip.
+		last := lastUse[i]
+		if last == i {
+			last = n - 1
+		}
+		signals = append(signals, shard.Signal{Prod: i, Last: last, Width: grp.Reuse * grp.Cols})
+		if !hasDeps[i] {
+			// External model input must reach this group's chip.
+			signals = append(signals, shard.Signal{Prod: -1, Last: i, Width: grp.Rows})
+		}
+	}
+	policy, err := d.cfg.ShardPolicy.compilePolicy()
+	if err != nil {
+		return err
+	}
+
+	maxChips := d.cfg.MaxChips
+	if maxChips > n {
+		maxChips = n
+	}
+	minChips := 1
+	if cap := d.cfg.ChipCapacity; cap > 0 {
+		minChips = (d.alloc.TotalPEs + cap - 1) / cap
+		if minChips > maxChips {
+			return fmt.Errorf("fpsa: model %s needs %d PEs — at least %d chips of capacity %d — but MaxChips is %d",
+				d.model.Name(), d.alloc.TotalPEs, minChips, d.cfg.ChipCapacity, d.cfg.MaxChips)
+		}
+	} else {
+		// No capacity bound: the user asked for this many chips.
+		minChips = maxChips
+	}
+	var plan *shard.Plan
+	for k := minChips; k <= maxChips; k++ {
+		plan, err = shard.Partition(weights, signals, nil, shard.Options{
+			Chips:    k,
+			Capacity: d.cfg.ChipCapacity,
+			Policy:   policy,
+		})
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("fpsa: cannot shard %s across ≤ %d chips: %w", d.model.Name(), maxChips, err)
+	}
+	if plan.Chips() == 1 {
+		// Degenerate request (one group, or MaxChips clamped to 1):
+		// stay on the classic single-chip path.
+		return nil
+	}
+
+	d.plan = plan
+	d.shards = make([]*deployShard, plan.Chips())
+	for k := range d.shards {
+		lo, hi := plan.Bounds[k], plan.Bounds[k+1]
+		sub := &coreop.Graph{Name: fmt.Sprintf("%s.chip%d", d.coreop.Name, k)}
+		for _, grp := range groups[lo:hi] {
+			g := *grp // shallow copy; weights/deps slices re-pointed below
+			g.Deps = nil
+			for _, dep := range grp.Deps {
+				if dep >= lo {
+					g.Deps = append(g.Deps, dep-lo)
+				}
+				// Cross-chip dependencies become chip inputs, fed over
+				// the inter-chip link; they are no longer nets of this
+				// chip's netlist.
+			}
+			sub.AddGroup(&g)
+		}
+		sum := 0
+		for _, w := range weights[lo:hi] {
+			sum += w
+		}
+		alloc := mapper.Allocation{
+			ModelDup:   d.alloc.ModelDup,
+			Dup:        d.alloc.Dup[lo:hi],
+			Iterations: d.alloc.Iterations[lo:hi],
+			TotalPEs:   sum,
+		}
+		nl, err := mapper.BuildNetlist(sub, alloc, d.params, nil)
+		if err != nil {
+			return fmt.Errorf("fpsa: shard %d: %w", k, err)
+		}
+		d.shards[k] = &deployShard{lo: lo, hi: hi, co: sub, alloc: alloc, nl: nl}
+	}
+	return nil
+}
+
+// Blocks returns the function-block inventory (summed over every chip of
+// a sharded deployment).
+func (d *Deployment) Blocks() (pes, smbs, clbs int) {
+	if len(d.shards) == 0 {
+		return d.nl.Counts()
+	}
+	for _, sh := range d.shards {
+		p, s, c := sh.nl.Counts()
+		pes, smbs, clbs = pes+p, smbs+s, clbs+c
+	}
+	return pes, smbs, clbs
+}
 
 // AreaMM2 returns the chip area (blocks; the mrFPGA routing fabric stacks
-// above them).
-func (d *Deployment) AreaMM2() float64 { return d.nl.AreaUM2(d.params) * 1e-6 }
+// above them), summed over every chip of a sharded deployment.
+func (d *Deployment) AreaMM2() float64 {
+	if len(d.shards) == 0 {
+		return d.nl.AreaUM2(d.params) * 1e-6
+	}
+	total := 0.0
+	for _, sh := range d.shards {
+		total += sh.nl.AreaUM2(d.params) * 1e-6
+	}
+	return total
+}
 
 // CoreOps returns the synthesized weight-group count and total core-op
 // executions per sample.
@@ -125,14 +315,23 @@ type PerfSummary struct {
 	// + SMB + CLB, routing excluded); PowerMW multiplies by throughput.
 	EnergyUJ float64
 	PowerMW  float64
+	// Chips is the deployment's chip count; LinkNSPerSample is the
+	// per-sample inter-chip transfer time charged into latency (both
+	// trivial — 1 and 0 — for a single-chip deployment).
+	Chips           int
+	LinkNSPerSample float64
 }
 
 // String renders the summary.
 func (p PerfSummary) String() string {
-	return fmt.Sprintf("throughput %.4g samples/s, latency %.4g us, perf %.4g OPS (%.4g OPS/mm2), energy %.4g uJ/sample (%.4g mW), bounds peak %.3g / spatial %.3g / temporal %.3g",
+	out := fmt.Sprintf("throughput %.4g samples/s, latency %.4g us, perf %.4g OPS (%.4g OPS/mm2), energy %.4g uJ/sample (%.4g mW), bounds peak %.3g / spatial %.3g / temporal %.3g",
 		p.ThroughputSPS, p.LatencyUS, p.PerfOPS, p.DensityOPSmm2,
 		p.EnergyUJ, p.PowerMW,
 		p.PeakOPS, p.SpatialBoundOPS, p.TemporalBoundOPS)
+	if p.Chips > 1 {
+		out += fmt.Sprintf(", %d chips (link %.4g ns/sample)", p.Chips, p.LinkNSPerSample)
+	}
+	return out
 }
 
 // Performance evaluates the deployment with the calibrated mean routed hop
@@ -141,15 +340,21 @@ func (p PerfSummary) String() string {
 func (d *Deployment) Performance() (PerfSummary, error) { return d.PerformanceWithHops(0) }
 
 // PerformanceWithHops evaluates the deployment using the given mean routed
-// hop count (0 = the calibrated default).
+// hop count (0 = the calibrated default). For a sharded deployment the
+// model also charges each inter-chip link's per-sample transfer (see
+// PerfSummary.LinkNSPerSample).
 func (d *Deployment) PerformanceWithHops(hops int) (PerfSummary, error) {
-	r, err := perf.Evaluate(perf.Input{
+	in := perf.Input{
 		Model:   d.model.graph,
 		CoreOps: d.coreop,
 		Params:  d.params,
 		Dup:     d.cfg.Duplication,
 		Hops:    hops,
-	}, perf.TargetFPSA)
+	}
+	if d.plan != nil {
+		in.CutWidths = d.plan.CutTraffic
+	}
+	r, err := perf.Evaluate(in, perf.TargetFPSA)
 	if err != nil {
 		return PerfSummary{}, err
 	}
@@ -165,6 +370,8 @@ func (d *Deployment) PerformanceWithHops(hops int) (PerfSummary, error) {
 		CommNSPerVMM:     r.CommNSPerVMM,
 		EnergyUJ:         r.Energy.TotalUJ(),
 		PowerMW:          r.PowerMW,
+		Chips:            r.Chips,
+		LinkNSPerSample:  r.LinkNSPerSample,
 	}, nil
 }
 
@@ -183,14 +390,24 @@ type PRStats struct {
 	// Restarts is the portfolio size the placement was chosen from.
 	Restarts int
 	// FromCache reports that the deployment cache supplied the artifacts
-	// and no annealing or routing ran.
+	// and no annealing or routing ran. For a sharded deployment it is
+	// true only when every shard hit the cache.
 	FromCache bool
+	// Chips is the number of chips placed and routed (1 for a
+	// single-chip deployment). For a sharded deployment ChipSide,
+	// MaxHops and ChannelsNeeded report the worst chip, MeanHops the
+	// net-weighted mean over chips, and the move/cost/iteration counters
+	// sum the per-chip runs.
+	Chips int
 }
 
 // String renders the stats.
 func (s PRStats) String() string {
 	out := fmt.Sprintf("chip %dx%d, routed converged=%v in %d iters, hops mean %.1f max %d, channels needed %d",
 		s.ChipSide, s.ChipSide, s.Converged, s.Iterations, s.MeanHops, s.MaxHops, s.ChannelsNeeded)
+	if s.Chips > 1 {
+		out = fmt.Sprintf("%d chips, worst %s", s.Chips, out)
+	}
 	if s.Restarts > 1 {
 		out += fmt.Sprintf(", portfolio %d seeds", s.Restarts)
 	}
@@ -220,8 +437,31 @@ func (b BitstreamInfo) String() string {
 // Bitstream generates and verifies the FPSA configuration — the final
 // artifact of the stack (Figure 5) — for the last PlaceAndRoute run. The
 // verification interprets only the programmed ReRAM cells and proves every
-// net's source reaches every sink with no shorts.
+// net's source reaches every sink with no shorts. A sharded deployment
+// generates and verifies one configuration per chip; the info sums the
+// programmed cells and reports the busiest chip's track occupancy.
 func (d *Deployment) Bitstream() (BitstreamInfo, error) {
+	if len(d.shards) > 0 {
+		var total BitstreamInfo
+		for k, sh := range d.shards {
+			if sh.artifacts == nil {
+				return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
+			}
+			cfg, err := sh.artifacts.Bitstream(func() (*bitstream.Config, error) {
+				return generateBitstream(sh.nl, sh.artifacts)
+			})
+			if err != nil {
+				return BitstreamInfo{}, fmt.Errorf("fpsa: shard %d: %w", k, err)
+			}
+			total.ProgrammedCells += cfg.CellCount()
+			total.SBCells += len(cfg.SBCells)
+			total.CBCells += len(cfg.CBCells)
+			if occ := cfg.TrackOccupancy(); occ > total.TrackOccupancy {
+				total.TrackOccupancy = occ
+			}
+		}
+		return total, nil
+	}
 	if d.lastRoute == nil {
 		return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
 	}
@@ -255,6 +495,19 @@ func (d *Deployment) Bitstream() (BitstreamInfo, error) {
 	}, nil
 }
 
+// generateBitstream produces one chip's verified configuration from its
+// netlist and artifacts.
+func generateBitstream(nl *netlist.Netlist, art *compilecache.Artifacts) (*bitstream.Config, error) {
+	cfg, err := bitstream.Generate(nl, art.Placement, art.Route, art.Chip)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Verify(nl); err != nil {
+		return nil, fmt.Errorf("generated configuration failed verification: %w", err)
+	}
+	return cfg, nil
+}
+
 // PlaceAndRoute runs multi-seed simulated-annealing placement and
 // parallel PathFinder routing on the deployment's netlist and reports the
 // measured communication geometry. Config.PlacementSeeds sets the
@@ -262,17 +515,24 @@ func (d *Deployment) Bitstream() (BitstreamInfo, error) {
 // result is deterministic for a fixed (Seed, PlacementSeeds) regardless
 // of Parallelism. With Config.Cache set, the artifacts are served
 // content-addressed — a repeat deployment of the same model and Config
-// skips placement and routing entirely (PRStats.FromCache). Intended for
-// small and medium deployments (hundreds of blocks); the large zoo models
-// use the calibrated hop estimate instead.
+// skips placement and routing entirely (PRStats.FromCache). A sharded
+// deployment places and routes every chip concurrently, each shard a
+// separate cache entry; the stats aggregate the per-chip runs (see
+// PRStats.Chips). Intended for small and medium deployments (hundreds of
+// blocks); the large zoo models use the calibrated hop estimate instead.
 func (d *Deployment) PlaceAndRoute() (PRStats, error) {
+	if len(d.shards) > 0 {
+		return d.placeAndRouteShards()
+	}
 	var art *compilecache.Artifacts
 	var hit bool
 	var err error
 	if d.cfg.Cache != nil {
-		art, hit, err = d.cfg.Cache.c.GetOrCompute(d.cacheKey(), d.placeAndRoute)
+		art, hit, err = d.cfg.Cache.c.GetOrCompute(d.cacheKey(-1), func() (*compilecache.Artifacts, error) {
+			return d.placeAndRoute(d.nl)
+		})
 	} else {
-		art, err = d.placeAndRoute()
+		art, err = d.placeAndRoute(d.nl)
 	}
 	if err != nil {
 		return PRStats{}, err
@@ -289,24 +549,90 @@ func (d *Deployment) PlaceAndRoute() (PRStats, error) {
 		WirelengthCost: art.WirelengthCost,
 		Restarts:       art.Restarts,
 		FromCache:      hit,
+		Chips:          1,
 	}, nil
 }
 
-// placeAndRoute is the uncached compile back end: portfolio placement
-// then routing, packaged as cacheable artifacts.
-func (d *Deployment) placeAndRoute() (*compilecache.Artifacts, error) {
-	chip, err := fabric.SizeFor(len(d.nl.Blocks), d.cfg.Tracks, d.params)
+// placeAndRouteShards compiles every shard concurrently — each chip is an
+// independent netlist — and aggregates the per-chip stats. Shards hit the
+// deployment cache independently, so re-sharding at a different MaxChips
+// only recompiles the chips whose content actually changed.
+func (d *Deployment) placeAndRouteShards() (PRStats, error) {
+	type result struct {
+		art *compilecache.Artifacts
+		hit bool
+		err error
+	}
+	results := make([]result, len(d.shards))
+	var wg sync.WaitGroup
+	for k, sh := range d.shards {
+		wg.Add(1)
+		go func(k int, sh *deployShard) {
+			defer wg.Done()
+			var r result
+			if d.cfg.Cache != nil {
+				r.art, r.hit, r.err = d.cfg.Cache.c.GetOrCompute(d.cacheKey(k), func() (*compilecache.Artifacts, error) {
+					return d.placeAndRoute(sh.nl)
+				})
+			} else {
+				r.art, r.err = d.placeAndRoute(sh.nl)
+			}
+			results[k] = r
+		}(k, sh)
+	}
+	wg.Wait()
+	stats := PRStats{Converged: true, FromCache: true, Chips: len(d.shards)}
+	var hopSum float64
+	var hopNets int
+	for k, r := range results {
+		if r.err != nil {
+			return PRStats{}, fmt.Errorf("fpsa: shard %d: %w", k, r.err)
+		}
+		d.shards[k].artifacts = r.art
+		art := r.art
+		if art.Chip.W > stats.ChipSide {
+			stats.ChipSide = art.Chip.W
+		}
+		stats.Converged = stats.Converged && art.Route.Converged
+		stats.Iterations += art.Route.Iterations
+		nets := len(art.Route.NetHops)
+		hopSum += art.Route.MeanHops() * float64(nets)
+		hopNets += nets
+		if h := art.Route.MaxHops(); h > stats.MaxHops {
+			stats.MaxHops = h
+		}
+		if art.Route.MaxOccupancy > stats.ChannelsNeeded {
+			stats.ChannelsNeeded = art.Route.MaxOccupancy
+		}
+		stats.PlacementMoves += art.PlacementMoves
+		stats.WirelengthCost += art.WirelengthCost
+		if art.Restarts > stats.Restarts {
+			stats.Restarts = art.Restarts
+		}
+		stats.FromCache = stats.FromCache && r.hit
+	}
+	if hopNets > 0 {
+		stats.MeanHops = hopSum / float64(hopNets)
+	}
+	return stats, nil
+}
+
+// placeAndRoute is the uncached compile back end for one netlist (the
+// whole deployment, or one shard of it): portfolio placement then
+// routing, packaged as cacheable artifacts.
+func (d *Deployment) placeAndRoute(nl *netlist.Netlist) (*compilecache.Artifacts, error) {
+	chip, err := fabric.SizeFor(len(nl.Blocks), d.cfg.Tracks, d.params)
 	if err != nil {
 		return nil, err
 	}
-	pl, pstats, err := place.Portfolio(d.nl, chip, d.cfg.Seed+1, place.PortfolioOptions{
+	pl, pstats, err := place.Portfolio(nl, chip, d.cfg.Seed+1, place.PortfolioOptions{
 		Runs:    d.cfg.PlacementSeeds,
 		Workers: d.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := route.Route(d.nl, pl, chip, route.Options{Workers: d.cfg.Parallelism})
+	res, err := route.Route(nl, pl, chip, route.Options{Workers: d.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -323,9 +649,18 @@ func (d *Deployment) placeAndRoute() (*compilecache.Artifacts, error) {
 // cacheKey is the deployment's content address: the model-structure
 // fingerprint plus every Config field that changes compile output.
 // Parallelism is deliberately absent — it never changes results — so one
-// cache serves machines of any size.
-func (d *Deployment) cacheKey() compilecache.Key {
-	return compilecache.KeyFrom(d.model.graph.Fingerprint(),
-		fmt.Sprintf("dup=%d|tracks=%d|seed=%d|pseeds=%d",
-			d.cfg.Duplication, d.cfg.Tracks, d.cfg.Seed, d.cfg.PlacementSeeds))
+// cache serves machines of any size. shardIdx < 0 addresses a
+// single-chip deployment with the historical key. A shard is addressed
+// by its group range: that range (with the fields above) fully
+// determines the chip's netlist, so MaxChips/ChipCapacity/ShardPolicy
+// stay out of the key and re-partitioning at different knobs re-uses
+// every chip whose group range is unchanged.
+func (d *Deployment) cacheKey(shardIdx int) compilecache.Key {
+	cfg := fmt.Sprintf("dup=%d|tracks=%d|seed=%d|pseeds=%d",
+		d.cfg.Duplication, d.cfg.Tracks, d.cfg.Seed, d.cfg.PlacementSeeds)
+	if shardIdx >= 0 {
+		sh := d.shards[shardIdx]
+		cfg += fmt.Sprintf("|shardgroups=%d:%d", sh.lo, sh.hi)
+	}
+	return compilecache.KeyFrom(d.model.graph.Fingerprint(), cfg)
 }

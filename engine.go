@@ -27,6 +27,15 @@ type EngineConfig struct {
 	// ModeSpikingNoisy each worker replica is programmed with its own
 	// deterministic variation derived from the SpikingNet seed.
 	Mode ExecMode
+	// Chips, when ≥ 2, serves the network as a sharded multi-chip
+	// deployment: the program's stages are partitioned across that many
+	// pipelined chips (balanced load; clamped to what the program
+	// supports) and all workers feed the one shared pipeline, so
+	// consecutive micro-batches overlap chip-by-chip. Outputs are
+	// bit-identical to the single-chip engine in every mode; in
+	// ModeSpikingNoisy the sharded deployment is one physical set of
+	// chips with a single variation draw. 0 or 1 serves single-chip.
+	Chips int
 }
 
 // DefaultEngineConfig returns a spiking-mode engine sized like the
@@ -59,12 +68,17 @@ func NewEngine(sn *SpikingNet, cfg EngineConfig) (*Engine, error) {
 		QueueDepth:    cfg.QueueDepth,
 		Mode:          mode,
 		Seed:          sn.currentSeed() + 7,
+		Chips:         cfg.Chips,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{eng: eng, window: sn.Window()}, nil
 }
+
+// Chips returns the engine's realized pipeline depth: the sharded chip
+// count, or 1 for a single-chip engine.
+func (e *Engine) Chips() int { return e.eng.Chips() }
 
 // Classify queues one feature vector (values in [0, 1]) and blocks until
 // a worker returns its argmax class.
@@ -133,7 +147,10 @@ type EngineStats struct {
 	QueueDepth    int
 	Workers       int
 	MaxBatch      int
-	UptimeS       float64
+	// Chips is the realized pipeline depth of a sharded engine (1 when
+	// the model is served whole on per-worker executors).
+	Chips   int
+	UptimeS float64
 }
 
 // String renders the snapshot.

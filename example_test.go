@@ -71,3 +71,60 @@ func ExampleRunExperiment() {
 	fmt.Println(out[:38])
 	// Output: Table 2: PE comparison (256x256 VMM, 8
 }
+
+// A model that exceeds one chip's capacity compiles as a sharded
+// deployment: the core-op graph is cut across chips (min-cut on the
+// inter-chip traffic), each chip gets its own netlist, and the perf
+// model charges the inter-chip links.
+func ExampleCompile_sharded() {
+	m, err := fpsa.LoadBenchmark("MLP-500-100")
+	if err != nil {
+		panic(err)
+	}
+	d, err := fpsa.Compile(m, fpsa.Config{Duplication: 1, MaxChips: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chips=%d\n", d.Chips())
+	for _, sh := range d.Shards() {
+		fmt.Printf("chip %d: %d PEs, %d signals in\n", sh.Chip, sh.PEs, sh.InSignals)
+	}
+	// Output:
+	// chips=2
+	// chip 0: 10 PEs, 0 signals in
+	// chip 1: 1 PEs, 200 signals in
+}
+
+// A deployed network too big for one chip serves through the same
+// Engine API: EngineConfig.Chips pipelines the stages across chips, and
+// classifications are bit-identical to a single-chip engine.
+func ExampleNewEngine_sharded() {
+	m, err := fpsa.NewModelBuilder("two-stage", 4, 1, 1).
+		FC(3).ReLU().
+		FC(2).ReLU().
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	layers := m.WeightLayers()
+	sn, err := fpsa.DeployModel(m, map[string][][]float64{
+		layers[0]: {{1, 0, -1}, {0, 1, 0}, {-1, 0, 1}, {0, -1, 0}},
+		layers[1]: {{1, -1}, {-1, 1}, {0, 0}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng, err := fpsa.NewEngine(sn, fpsa.EngineConfig{
+		Workers: 2, MaxBatch: 4, Mode: fpsa.ModeReference, Chips: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+	label, err := eng.Classify([]float64{0.9, 0.1, 0.0, 0.2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chips=%d class=%d\n", eng.Chips(), label)
+	// Output: chips=2 class=0
+}

@@ -10,14 +10,14 @@ import (
 )
 
 // ExperimentIDs lists the reproducible paper artifacts plus the ablation
-// studies grounded in the paper's §7 discussion and the measured
-// serving-throughput artifact ("serving", tunable via fpsa-bench -batch).
+// studies grounded in the paper's §7 discussion and the measured serving
+// artifacts ("serving" and "sharding", tunable via fpsa-bench -batch).
 func ExperimentIDs() []string {
 	ids := []string{
 		"table1", "table2", "table3",
 		"figure2", "figure6", "figure7", "figure8", "figure9",
 		"ablation-transmission", "ablation-channels", "ablation-heteropes",
-		"serving",
+		"serving", "sharding",
 	}
 	sort.Strings(ids)
 	return ids
@@ -81,6 +81,8 @@ func RunExperiment(id string) (string, error) {
 		return experiments.RenderAblationChannelWidth(r), nil
 	case "serving":
 		return RunServingExperiment(0)
+	case "sharding":
+		return RunShardingExperiment(0)
 	case "ablation-heteropes":
 		rows, err := experiments.AblationHeteroPEs(64)
 		if err != nil {

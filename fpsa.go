@@ -30,6 +30,13 @@
 // Config.PlacementSeeds/Parallelism for a multi-seed annealing portfolio
 // and parallel routing, and Config.Cache (see NewCompileCache) to serve
 // repeat deployments from a content-addressed artifact cache.
+//
+// Models larger than one chip shard across several: Config.MaxChips and
+// ChipCapacity partition the compile (per-chip netlists, concurrent
+// place & route, inter-chip links charged into the performance model)
+// and EngineConfig.Chips serves the deployment as a chip-level pipeline
+// with bit-identical outputs — see ShardPolicy, Deployment.Shards and
+// docs/SERVING.md.
 package fpsa
 
 import (

@@ -302,7 +302,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if _, err := RunExperiment("figure99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(ExperimentIDs()); got != 12 {
+	if got := len(ExperimentIDs()); got != 13 {
 		t.Errorf("ExperimentIDs = %d entries", got)
 	}
 	// The cheaper figure/ablation dispatch paths.

@@ -28,6 +28,7 @@ import (
 	"fpsa/internal/mapper"
 	"fpsa/internal/netlist"
 	"fpsa/internal/prime"
+	"fpsa/internal/shard"
 )
 
 // Target selects the architecture being modeled.
@@ -71,6 +72,14 @@ type Input struct {
 	Hops int
 	// Bus is PRIME's memory bus (zero value uses prime.DefaultBus).
 	Bus prime.Bus
+	// CutWidths, when non-empty, describes a sharded multi-chip
+	// deployment: per inter-chip link, the signal values crossing it per
+	// sample. Each link's transfer is charged into latency, and the
+	// busiest link becomes a pipeline stage that can bound throughput.
+	CutWidths []int
+	// Link models the inter-chip interconnect (zero value =
+	// shard.DefaultLink with the params' IOBits per signal).
+	Link shard.Link
 }
 
 // Report is one evaluation result.
@@ -98,6 +107,12 @@ type Report struct {
 	// Figure 7 bars: per-VMM computation and communication latency.
 	CompNSPerVMM float64
 	CommNSPerVMM float64
+
+	// Chips is the deployment's chip count (1 unless CutWidths sharded
+	// it); LinkNSPerSample is the summed per-sample inter-chip transfer
+	// time charged into latency.
+	Chips           int
+	LinkNSPerSample float64
 
 	// Energy model (FPSA-fabric targets only; zero for PRIME, whose
 	// per-access energies the paper does not publish).
@@ -187,6 +202,27 @@ func Evaluate(in Input, target Target) (Report, error) {
 		rep.AreaMM2 = float64(rep.PEs) * prime.PE.AreaUM2 * 1e-6
 	}
 
+	// Inter-chip links of a sharded deployment: each link's per-sample
+	// transfer adds pipeline-fill latency, and the busiest link is a
+	// pipeline stage of its own that can bound throughput — leaving the
+	// die costs serialization latency plus bandwidth time, unlike the
+	// on-fabric wires already inside stageNS.
+	rep.Chips = 1 + len(in.CutWidths)
+	var maxLinkNS float64
+	if len(in.CutWidths) > 0 {
+		link := in.Link
+		if link.SignalBits <= 0 {
+			link.SignalBits = p.IOBits
+		}
+		for _, w := range in.CutWidths {
+			t := link.TransferNS(w)
+			rep.LinkNSPerSample += t
+			if t > maxLinkNS {
+				maxLinkNS = t
+			}
+		}
+	}
+
 	// Throughput and latency. A sample's latency is the pipeline fill
 	// along the critical path plus the bottleneck stage's full
 	// iteration drain. Fill cost per stage depends on the connection:
@@ -197,12 +233,15 @@ func Evaluate(in Input, target Target) (Report, error) {
 	// stage fills fully.
 	maxIter := float64(alloc.MaxIterations())
 	bottleneckNS := maxIter * stageNS
+	if maxLinkNS > bottleneckNS {
+		bottleneckNS = maxLinkNS
+	}
 	rep.ThroughputSPS = float64(replicas) / (bottleneckNS * 1e-9)
 	fillCycleNS := stageNS
 	if target == TargetFPSA {
 		fillCycleNS = stageNS / gamma // one effective pipeline cycle
 	}
-	rep.LatencyUS = (criticalFillNS(in.CoreOps, alloc, stageNS, fillCycleNS) + bottleneckNS) * 1e-3
+	rep.LatencyUS = (criticalFillNS(in.CoreOps, alloc, stageNS, fillCycleNS) + bottleneckNS + rep.LinkNSPerSample) * 1e-3
 	rep.PerfOPS = float64(in.Model.TotalOps()) * rep.ThroughputSPS
 	if rep.AreaMM2 > 0 {
 		rep.DensityOPSmm2 = rep.PerfOPS / rep.AreaMM2

@@ -9,6 +9,13 @@
 // whole batch through the shared internal/xbar kernel), not just a
 // latency/queueing knob. It is the serving substrate behind the public
 // fpsa.Engine API and cmd/fpsa-serve.
+//
+// With Options.Chips ≥ 2 the engine serves a sharded deployment instead:
+// one synth.PipelineExecutor whose program is partitioned across that
+// many simulated chips, shared by every worker. Workers then act as
+// concurrent feeders keeping the chip pipeline full — micro-batch N+1
+// enters chip 0 while micro-batch N is still on a later chip — which is
+// where a model too big for one fabric gets its throughput back.
 package serve
 
 import (
@@ -18,8 +25,16 @@ import (
 	"sync"
 	"time"
 
+	"fpsa/internal/shard"
 	"fpsa/internal/synth"
 )
+
+// runner is the execution surface a worker drives: a private single-chip
+// synth.Executor, or the engine's shared multi-chip pipeline.
+type runner interface {
+	Validate(input []int) error
+	RunBatch(inputs [][]int) ([][]int, error)
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -42,8 +57,15 @@ type Options struct {
 	Mode synth.ExecMode
 	// Seed derives each worker's programming-variation RNG in
 	// ModeSpikingNoisy; each worker draws an independent sub-seed from
-	// one stream seeded here.
+	// one stream seeded here. A sharded engine (Chips ≥ 2) is one
+	// physical set of chips and draws a single variation stream.
 	Seed int64
+	// Chips, when ≥ 2, serves the program as a sharded deployment: the
+	// stage list is partitioned across that many pipelined chips
+	// (balanced load, clamped to what the program supports) and every
+	// worker feeds the one shared pipeline. 0 or 1 keeps the classic
+	// per-worker single-chip executors.
+	Chips int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,47 +106,79 @@ type Engine struct {
 	batches chan []*request
 	wg      sync.WaitGroup
 	stats   tracker
+	// pipe is the shared multi-chip pipeline of a sharded engine (nil
+	// for the per-worker single-chip layout); chips is the realized
+	// pipeline depth (1 when unsharded).
+	pipe  *synth.PipelineExecutor
+	chips int
 
 	mu     sync.RWMutex
 	closed bool
 }
 
-// New builds the engine: it programs opts.Workers executors over prog
+// New builds the engine: it programs the execution state over prog
 // (surfacing programming errors synchronously) and starts the batcher and
-// worker goroutines.
+// worker goroutines. With opts.Chips ≤ 1 each worker programs a private
+// single-chip executor; with opts.Chips ≥ 2 one pipelined multi-chip
+// executor is programmed and shared by every worker.
 func New(prog *synth.Program, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
-	execs := make([]*synth.Executor, opts.Workers)
+	e := &Engine{
+		opts:  opts,
+		chips: 1,
+	}
+	runners := make([]runner, opts.Workers)
 	// Worker seeds come from one stream rather than Seed+w so engines
 	// with adjacent seeds never share replica programming variation.
 	seeds := rand.New(rand.NewSource(opts.Seed))
-	for w := range execs {
+	if opts.Chips >= 2 {
+		plan, err := prog.PartitionStages(opts.Chips, shard.PolicyBalanced)
+		if err != nil {
+			return nil, fmt.Errorf("serve: partitioning across %d chips: %w", opts.Chips, err)
+		}
 		ropts := synth.RunOptions{Mode: opts.Mode}
 		if opts.Mode == synth.ModeSpikingNoisy {
 			ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
 		}
-		ex, err := synth.NewExecutor(prog, ropts)
+		pipe, err := synth.NewPipelineExecutor(prog, plan, ropts)
 		if err != nil {
-			return nil, fmt.Errorf("serve: worker %d: %w", w, err)
+			return nil, fmt.Errorf("serve: sharded executor: %w", err)
 		}
-		execs[w] = ex
+		e.pipe = pipe
+		e.chips = pipe.Chips()
+		for w := range runners {
+			runners[w] = pipe
+		}
+	} else {
+		for w := range runners {
+			ropts := synth.RunOptions{Mode: opts.Mode}
+			if opts.Mode == synth.ModeSpikingNoisy {
+				ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
+			}
+			ex, err := synth.NewExecutor(prog, ropts)
+			if err != nil {
+				return nil, fmt.Errorf("serve: worker %d: %w", w, err)
+			}
+			runners[w] = ex
+		}
 	}
-	e := &Engine{
-		opts:    opts,
-		reqs:    make(chan *request, opts.QueueDepth),
-		batches: make(chan []*request, opts.Workers),
-	}
+	e.reqs = make(chan *request, opts.QueueDepth)
+	e.batches = make(chan []*request, opts.Workers)
 	e.stats.start = time.Now()
 	e.wg.Add(1 + opts.Workers)
 	go e.batcher()
-	for _, ex := range execs {
-		go e.worker(ex)
+	for _, r := range runners {
+		go e.worker(r)
 	}
 	return e, nil
 }
 
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Chips returns the realized pipeline depth: 1 for the per-worker
+// single-chip layout, the sharded chip count otherwise.
+func (e *Engine) Chips() int { return e.chips }
 
 // Infer queues one input vector of spike counts and blocks until a worker
 // classifies it or ctx is done. The returned slice is the program's raw
@@ -193,9 +247,9 @@ func (e *Engine) submit(ctx context.Context, r *request) error {
 	}
 }
 
-// Close drains the queue, stops the workers, and releases the engine.
-// Queued requests still complete; subsequent Infer calls return
-// ErrClosed. Close is idempotent.
+// Close drains the queue, stops the workers (and, on a sharded engine,
+// the chip pipeline), and releases the engine. Queued requests still
+// complete; subsequent Infer calls return ErrClosed. Close is idempotent.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -206,6 +260,9 @@ func (e *Engine) Close() error {
 	close(e.reqs)
 	e.mu.Unlock()
 	e.wg.Wait()
+	if e.pipe != nil {
+		return e.pipe.Close()
+	}
 	return nil
 }
 
@@ -272,13 +329,15 @@ func stopTimer(t *time.Timer) {
 	}
 }
 
-// worker runs whole micro-batches on its private executor until the
-// batch channel closes: each flushed batch becomes one Executor.RunBatch
-// call. Requests whose callers already gave up (context done while
-// queued) are shed without simulating, so client timeouts actually
-// relieve load, and malformed requests fail individually in pre-flight
-// validation so they cannot poison the rest of the batch.
-func (e *Engine) worker(ex *synth.Executor) {
+// worker runs whole micro-batches on its runner until the batch channel
+// closes: each flushed batch becomes one RunBatch call — on a private
+// single-chip executor, or on the shared chip pipeline, where concurrent
+// workers are exactly what keeps every chip busy. Requests whose callers
+// already gave up (context done while queued) are shed without
+// simulating, so client timeouts actually relieve load, and malformed
+// requests fail individually in pre-flight validation so they cannot
+// poison the rest of the batch.
+func (e *Engine) worker(ex runner) {
 	defer e.wg.Done()
 	var live []*request
 	var inputs [][]int
@@ -328,6 +387,7 @@ func (e *Engine) Stats() Stats {
 	s := e.stats.snapshot()
 	s.Workers = e.opts.Workers
 	s.MaxBatch = e.opts.MaxBatch
+	s.Chips = e.chips
 	s.QueueDepth = len(e.reqs)
 	return s
 }

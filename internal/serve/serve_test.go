@@ -451,3 +451,107 @@ func TestInvalidItemDoesNotPoisonBatch(t *testing.T) {
 		t.Errorf("stats.Errors = %d, want 1", s.Errors)
 	}
 }
+
+// TestShardedEngineMatchesSingleChip: an engine serving a sharded
+// deployment (Chips ≥ 2) must reproduce the single-chip engine bit for
+// bit under concurrent load, in spiking and noisy modes. Run under -race
+// in CI: all workers share one chip pipeline.
+func TestShardedEngineMatchesSingleChip(t *testing.T) {
+	prog := buildProgram(t, 21, []int{14, 12, 8, 3})
+	inputs := randomInputs(prog, 22, 12)
+	for _, mode := range []synth.ExecMode{synth.ModeSpiking, synth.ModeSpikingNoisy} {
+		single, err := New(prog, Options{Workers: 1, MaxBatch: 4, Mode: mode, Seed: 33})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]int, len(inputs))
+		for i, in := range inputs {
+			if want[i], err = single.Infer(context.Background(), in); err != nil {
+				t.Fatal(err)
+			}
+		}
+		single.Close()
+
+		sharded, err := New(prog, Options{Workers: 3, MaxBatch: 4, Mode: mode, Seed: 33, Chips: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sharded.Chips() != 2 {
+			t.Fatalf("mode %v: Chips() = %d, want 2", mode, sharded.Chips())
+		}
+		const goroutines = 6
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i, in := range inputs {
+					out, err := sharded.Infer(context.Background(), in)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j := range out {
+						if out[j] != want[i][j] {
+							errs <- fmt.Errorf("mode %v goroutine %d input %d: out[%d] = %d, want %d",
+								mode, g, i, j, out[j], want[i][j])
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		s := sharded.Stats()
+		if s.Chips != 2 {
+			t.Errorf("stats.Chips = %d, want 2", s.Chips)
+		}
+		if !strings.Contains(s.String(), "2 pipelined chips") {
+			t.Errorf("Stats.String() missing chip count: %q", s.String())
+		}
+		if err := sharded.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}
+}
+
+// TestShardedEngineClampsChips: asking for more chips than the program
+// has stages degrades to the feasible depth instead of failing, and the
+// engine still serves.
+func TestShardedEngineClampsChips(t *testing.T) {
+	prog := buildProgram(t, 23, []int{6, 3})
+	eng, err := New(prog, Options{Workers: 2, MaxBatch: 2, Chips: 16, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Chips() > len(prog.Stages) {
+		t.Fatalf("Chips() = %d for a %d-stage program", eng.Chips(), len(prog.Stages))
+	}
+	if _, err := eng.Infer(context.Background(), randomInputs(prog, 24, 1)[0]); err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+}
+
+// TestShardedEngineBadInput: pre-flight validation still isolates a bad
+// request on the shared pipeline.
+func TestShardedEngineBadInput(t *testing.T) {
+	prog := buildProgram(t, 25, []int{8, 5, 2})
+	eng, err := New(prog, Options{Workers: 2, MaxBatch: 4, Chips: 2, Mode: synth.ModeReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	good := randomInputs(prog, 26, 1)[0]
+	if _, err := eng.Infer(context.Background(), make([]int, 3)); err == nil {
+		t.Error("mis-sized input accepted")
+	}
+	if _, err := eng.Infer(context.Background(), good); err != nil {
+		t.Errorf("good input after bad: %v", err)
+	}
+}

@@ -36,20 +36,26 @@ type Stats struct {
 	// percentiles over a sliding window of recent requests.
 	P50LatencyUS float64
 	P99LatencyUS float64
-	// QueueDepth, Workers and MaxBatch describe the engine's current
-	// shape.
+	// QueueDepth, Workers, MaxBatch and Chips describe the engine's
+	// current shape. Chips is the realized pipeline depth of a sharded
+	// engine (1 when the model runs whole on per-worker executors).
 	QueueDepth int
 	Workers    int
 	MaxBatch   int
+	Chips      int
 	UptimeS    float64
 }
 
 // String renders the snapshot.
 func (s Stats) String() string {
-	return fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f, exec mean %.1f / max %d), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us, queue %d, %d workers",
+	out := fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f, exec mean %.1f / max %d), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us, queue %d, %d workers",
 		s.Requests, s.Errors, s.Shed, s.Batches, s.MeanBatch,
 		s.MeanExecBatch, s.MaxExecBatch,
 		s.ThroughputSPS, s.P50LatencyUS, s.P99LatencyUS, s.QueueDepth, s.Workers)
+	if s.Chips > 1 {
+		out += fmt.Sprintf(", %d pipelined chips", s.Chips)
+	}
+	return out
 }
 
 // latencyWindow is the sliding sample window the percentiles are computed

@@ -1,0 +1,52 @@
+package shard
+
+// Link models one inter-chip interconnect: a serial off-chip channel
+// (SerDes class) that forwards spike-count signals between pipeline
+// stages of a sharded deployment. Unlike the on-fabric mrFPGA wires
+// (per-hop ~1.6 ns, paper §4.1), leaving the die costs a fixed
+// serialization latency plus bandwidth-limited transfer time, which is
+// exactly what the performance model charges per boundary crossing.
+type Link struct {
+	// LatencyNS is the fixed per-transfer latency: serialization,
+	// pad/driver and deserialization.
+	LatencyNS float64
+	// BandwidthBitsPerNS is the link's payload bandwidth (1 bit/ns =
+	// 1 Gb/s).
+	BandwidthBitsPerNS float64
+	// SignalBits is the width of one transferred signal: a spike count in
+	// [0, Γ] needs IOBits bits (Γ = 2^IOBits).
+	SignalBits int
+}
+
+// DefaultLink returns the evaluated interconnect: a 32 Gb/s serial link
+// with 100 ns of fixed latency carrying 6-bit spike counts (Γ = 64, the
+// paper's sampling window).
+func DefaultLink() Link {
+	return Link{LatencyNS: 100, BandwidthBitsPerNS: 32, SignalBits: 6}
+}
+
+// withDefaults fills zero fields from DefaultLink.
+func (l Link) withDefaults() Link {
+	d := DefaultLink()
+	if l.LatencyNS <= 0 {
+		l.LatencyNS = d.LatencyNS
+	}
+	if l.BandwidthBitsPerNS <= 0 {
+		l.BandwidthBitsPerNS = d.BandwidthBitsPerNS
+	}
+	if l.SignalBits <= 0 {
+		l.SignalBits = d.SignalBits
+	}
+	return l
+}
+
+// TransferNS returns the time to move one batch item's worth of signals
+// across the link: fixed latency plus signals·SignalBits of payload at
+// the link bandwidth. Zero signals cost nothing (no transfer happens).
+func (l Link) TransferNS(signals int) float64 {
+	if signals <= 0 {
+		return 0
+	}
+	l = l.withDefaults()
+	return l.LatencyNS + float64(signals*l.SignalBits)/l.BandwidthBitsPerNS
+}

@@ -1,0 +1,116 @@
+// Command docscheck keeps the README honest: it extracts every CLI flag
+// declared by the binaries under cmd/ and fails when one is missing from
+// the README's flag tables (a row whose first cell is `-flagname`).
+// Rows are attributed per binary — a table documents the binary named
+// most recently above it — so a flag added to one binary cannot ride on
+// a same-named row in another binary's table. CI runs it so a new or
+// renamed flag cannot land undocumented.
+//
+// Usage (from the repository root):
+//
+//	go run ./internal/tools/docscheck
+//	go run ./internal/tools/docscheck -readme README.md -cmd ./cmd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// flagDecl matches flag declarations like flag.String("model", …),
+// flag.IntVar(&v, "model", …) and flag.Duration("flush", …). The first
+// quoted argument is the flag name.
+var flagDecl = regexp.MustCompile(`flag\.[A-Za-z]+\((?:&[A-Za-z0-9_.]+,\s*)?"([^"]+)"`)
+
+// flagRow matches a flag-table row: | `-name` | meaning |.
+var flagRow = regexp.MustCompile("^\\|\\s*`-([^`]+)`\\s*\\|")
+
+func main() {
+	readmePath := flag.String("readme", "README.md", "README file holding the flag tables")
+	cmdDir := flag.String("cmd", "cmd", "directory holding the CLI binaries")
+	flag.Parse()
+
+	mains, err := filepath.Glob(filepath.Join(*cmdDir, "*", "main.go"))
+	if err != nil {
+		fail(err)
+	}
+	if len(mains) == 0 {
+		fail(fmt.Errorf("no binaries found under %s", *cmdDir))
+	}
+	sort.Strings(mains)
+	binaries := make([]string, len(mains))
+	for i, path := range mains {
+		binaries[i] = filepath.Base(filepath.Dir(path))
+	}
+
+	readme, err := os.ReadFile(*readmePath)
+	if err != nil {
+		fail(err)
+	}
+	// Attribute each flag row to the binary named most recently before
+	// it: prose like "go run ./cmd/fpsa-serve …" or a "## fpsa-bench"
+	// heading switches the current binary, and its flag table follows.
+	documented := make(map[string]map[string]bool, len(binaries))
+	for _, b := range binaries {
+		documented[b] = make(map[string]bool)
+	}
+	current := ""
+	rows := 0
+	for _, line := range strings.Split(string(readme), "\n") {
+		if m := flagRow.FindStringSubmatch(line); m != nil {
+			rows++
+			if current != "" {
+				documented[current][m[1]] = true
+			}
+			continue
+		}
+		for _, b := range binaries {
+			if idx := strings.LastIndex(line, b); idx >= 0 {
+				if current == "" || idx >= strings.LastIndex(line, current) {
+					current = b
+				}
+			}
+		}
+	}
+	if rows == 0 {
+		fail(fmt.Errorf("%s contains no flag-table rows (| `-flag` | …); refusing to pass vacuously", *readmePath))
+	}
+
+	type miss struct{ binary, flag string }
+	var missing []miss
+	total := 0
+	for i, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		for _, m := range flagDecl.FindAllStringSubmatch(string(src), -1) {
+			total++
+			if !documented[binaries[i]][m[1]] {
+				missing = append(missing, miss{binary: binaries[i], flag: m[1]})
+			}
+		}
+	}
+	if total == 0 {
+		fail(fmt.Errorf("no flag declarations found under %s; the matcher may be stale", *cmdDir))
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d flag(s) missing from %s flag tables:\n", len(missing), *readmePath)
+		for _, m := range missing {
+			fmt.Fprintf(os.Stderr, "  %s: -%s\n", m.binary, m.flag)
+		}
+		fmt.Fprintln(os.Stderr, "add a `| `-flag` | meaning |` row to that binary's table (or remove the flag).")
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d flags across %d binaries all documented in %s\n", total, len(mains), *readmePath)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "docscheck:", err)
+	os.Exit(1)
+}

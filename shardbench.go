@@ -1,0 +1,248 @@
+package fpsa
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpsa/internal/shard"
+	"fpsa/internal/synth"
+)
+
+// ShardingBenchOptions shapes the multi-chip serving experiment: the same
+// deployed MLP served at several chip counts, single-chip streaming
+// versus the pipelined multi-chip executor.
+type ShardingBenchOptions struct {
+	// Batch is the micro-batch size every configuration streams. 0
+	// means 16.
+	Batch int
+	// Samples is how many classifications each configuration performs.
+	// 0 means 512.
+	Samples int
+	// ChipCounts lists the chip counts to sweep. nil means 1, 2, 4.
+	ChipCounts []int
+	// Mode selects the execution semantics. The zero value is
+	// ModeReference; the rendered fpsa-bench artifact uses ModeSpiking,
+	// the serving default.
+	Mode ExecMode
+	// Seed fixes the dataset/training seed. 0 means 7.
+	Seed int64
+}
+
+func (o ShardingBenchOptions) withDefaults() ShardingBenchOptions {
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
+	if o.Samples <= 0 {
+		o.Samples = 512
+	}
+	if len(o.ChipCounts) == 0 {
+		o.ChipCounts = []int{1, 2, 4}
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// ShardingBenchRow is one chip count's measured serving numbers.
+type ShardingBenchRow struct {
+	// Chips is the requested chip count; RealChips what the partitioner
+	// realized (legal cuts can clamp it).
+	Chips     int
+	RealChips int
+	// StageSplit is the number of program stages per chip.
+	StageSplit []int
+	// CutSignals is the signal traffic over each inter-chip link.
+	CutSignals []int
+	// ThroughputSPS is end-to-end samples/s streaming micro-batches
+	// through the configuration; Speedup is relative to the sweep's
+	// single-chip row (0 when the sweep has no 1-chip configuration to
+	// compare against).
+	ThroughputSPS float64
+	Speedup       float64
+	// BatchLatencyUS is the mean wall-clock of one micro-batch through
+	// the whole pipeline under load (queueing included).
+	BatchLatencyUS float64
+}
+
+// ShardingBenchResult reports the sweep.
+type ShardingBenchResult struct {
+	Options ShardingBenchOptions
+	Stages  int
+	Rows    []ShardingBenchRow
+}
+
+// String renders the result as a fpsa-bench artifact.
+func (r ShardingBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded serving (MLP 16-48-48-48-4, %d stages, %d samples, mode %v, batch %d)\n",
+		r.Stages, r.Options.Samples, r.Options.Mode, r.Options.Batch)
+	fmt.Fprintf(&b, "  %-6s %-8s %-14s %-14s %-10s %s\n",
+		"chips", "stages", "samples/s", "batch lat us", "speedup", "link signals")
+	for _, row := range r.Rows {
+		stages := make([]string, len(row.StageSplit))
+		for i, s := range row.StageSplit {
+			stages[i] = fmt.Sprint(s)
+		}
+		cuts := "-"
+		if len(row.CutSignals) > 0 {
+			parts := make([]string, len(row.CutSignals))
+			for i, c := range row.CutSignals {
+				parts[i] = fmt.Sprint(c)
+			}
+			cuts = strings.Join(parts, ",")
+		}
+		speedup := "-"
+		if row.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.Speedup)
+		}
+		fmt.Fprintf(&b, "  %-6d %-8s %-14.1f %-14.1f %-10s %s\n",
+			row.RealChips, strings.Join(stages, "+"), row.ThroughputSPS,
+			row.BatchLatencyUS, speedup, cuts)
+	}
+	b.WriteString("  (pipeline speedup needs GOMAXPROCS ≥ chips: each simulated chip runs on its own goroutine)\n")
+	return b.String()
+}
+
+// ShardingBench trains the benchmark MLP (16-48-48-48-4, four executable
+// stages), deploys it once, and serves the same sample stream at every
+// requested chip count: chip count 1 streams micro-batches through a
+// single executor — the classic whole-model deployment — and counts ≥ 2
+// cut the stage list across pipelined chips (balanced partition) with
+// concurrent feeders keeping every chip busy. Outputs are bit-identical
+// across rows (property-tested in internal/synth); what changes is where
+// the wall-clock goes, which is the experiment.
+func ShardingBench(opts ShardingBenchOptions) (ShardingBenchResult, error) {
+	opts = opts.withDefaults()
+	res := ShardingBenchResult{Options: opts}
+	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
+	train, _ := ds.Split(2.0 / 3)
+	net, err := TrainMLP(opts.Seed, []int{16, 48, 48, 48, 4}, train, 20)
+	if err != nil {
+		return res, err
+	}
+	sn, err := net.Deploy()
+	if err != nil {
+		return res, err
+	}
+	res.Stages = sn.Stages()
+	mode, err := opts.Mode.synthMode()
+	if err != nil {
+		return res, err
+	}
+	window := sn.Window()
+	batches := make([][][]int, (opts.Samples+opts.Batch-1)/opts.Batch)
+	idx := 0
+	for i := range batches {
+		n := opts.Batch
+		if rem := opts.Samples - idx; n > rem {
+			n = rem
+		}
+		batch := make([][]int, n)
+		for j := range batch {
+			batch[j] = synth.QuantizeInput(train.X[(idx+j)%len(train.X)], window)
+		}
+		batches[i] = batch
+		idx += n
+	}
+
+	for _, chips := range opts.ChipCounts {
+		row := ShardingBenchRow{Chips: chips}
+		if chips <= 1 {
+			ex, err := synth.NewExecutor(sn.prog, synth.RunOptions{Mode: mode})
+			if err != nil {
+				return res, err
+			}
+			row.RealChips = 1
+			row.StageSplit = []int{res.Stages}
+			var latNS int64
+			start := time.Now()
+			for _, batch := range batches {
+				t0 := time.Now()
+				if _, err := ex.RunBatch(batch); err != nil {
+					return res, err
+				}
+				latNS += time.Since(t0).Nanoseconds()
+			}
+			row.ThroughputSPS = rate(opts.Samples, time.Since(start))
+			row.BatchLatencyUS = float64(latNS) / float64(len(batches)) / 1e3
+		} else {
+			plan, err := sn.prog.PartitionStages(chips, shard.PolicyBalanced)
+			if err != nil {
+				return res, err
+			}
+			pe, err := synth.NewPipelineExecutor(sn.prog, plan, synth.RunOptions{Mode: mode})
+			if err != nil {
+				return res, err
+			}
+			row.RealChips = pe.Chips()
+			for k := 0; k < plan.Chips(); k++ {
+				row.StageSplit = append(row.StageSplit, plan.Bounds[k+1]-plan.Bounds[k])
+			}
+			row.CutSignals = append([]int(nil), plan.CutTraffic...)
+			feeders := pe.Chips() + 1
+			var next atomic.Int64
+			var latNS atomic.Int64
+			var wg sync.WaitGroup
+			errs := make([]error, feeders)
+			start := time.Now()
+			for f := 0; f < feeders; f++ {
+				wg.Add(1)
+				go func(f int) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(batches) {
+							return
+						}
+						t0 := time.Now()
+						if _, err := pe.RunBatch(batches[i]); err != nil {
+							errs[f] = err
+							return
+						}
+						latNS.Add(time.Since(t0).Nanoseconds())
+					}
+				}(f)
+			}
+			wg.Wait()
+			row.ThroughputSPS = rate(opts.Samples, time.Since(start))
+			pe.Close()
+			for _, err := range errs {
+				if err != nil {
+					return res, err
+				}
+			}
+			row.BatchLatencyUS = float64(latNS.Load()) / float64(len(batches)) / 1e3
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// Speedups are relative to the sweep's single-chip measurement; a
+	// sweep without one reports no speedup rather than a wrong baseline.
+	var baseline float64
+	for _, row := range res.Rows {
+		if row.RealChips == 1 {
+			baseline = row.ThroughputSPS
+			break
+		}
+	}
+	if baseline > 0 {
+		for i := range res.Rows {
+			res.Rows[i].Speedup = res.Rows[i].ThroughputSPS / baseline
+		}
+	}
+	return res, nil
+}
+
+// RunShardingExperiment renders the multi-chip serving artifact; batch
+// ≤ 0 uses the default micro-batch size. It backs fpsa-bench's
+// "sharding" experiment and its -batch flag.
+func RunShardingExperiment(batch int) (string, error) {
+	r, err := ShardingBench(ShardingBenchOptions{Batch: batch, Mode: ModeSpiking})
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
