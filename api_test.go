@@ -1,0 +1,325 @@
+package fpsa
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"fpsa/internal/serve"
+)
+
+// TestCompileOptionsMatchConfig: the option-based Compile and the legacy
+// Config-literal entry point are the same compile — identical netlists
+// and bit-identical place & route.
+func TestCompileOptionsMatchConfig(t *testing.T) {
+	ctx := context.Background()
+	m, err := LoadBenchmark("MLP-500-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := Compile(ctx, m, WithDuplication(1), WithSeed(3), WithPlacementSeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	do, err := CompileConfig(m, Config{Duplication: 1, Seed: 3, PlacementSeeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, ns, nc := dn.Blocks()
+	op, os, oc := do.Blocks()
+	if np != op || ns != os || nc != oc {
+		t.Fatalf("blocks differ: new %d/%d/%d, old %d/%d/%d", np, ns, nc, op, os, oc)
+	}
+	sn, err := dn.PlaceAndRoute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := do.PlaceAndRoute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sn, so) {
+		t.Fatalf("place&route stats differ:\nnew %+v\nold %+v", sn, so)
+	}
+	bn, err := dn.Bitstream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := do.Bitstream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bn != bo {
+		t.Fatalf("bitstreams differ: new %+v, old %+v", bn, bo)
+	}
+}
+
+// trainedDeployment compiles the shared test MLP through the new
+// surface, registering the trained weights and any extra options.
+func trainedDeployment(t testing.TB, opts ...Option) (*Deployment, *TrainedMLP, Dataset) {
+	t.Helper()
+	ds := SyntheticDataset(5, 300, 12, 3, 0.08)
+	train, test := ds.Split(0.7)
+	net, err := TrainMLP(5, []int{12, 10, 8, 3}, train, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts = append([]Option{WithWeightSource(net.WeightSource())}, opts...)
+	d, err := Compile(context.Background(), net.Model(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, net, test
+}
+
+// TestNewNetMatchesOldDeploy: nets derived from the Deployment are
+// bit-identical to the old TrainedMLP.Deploy path in every exec mode —
+// including the noisy programming-variation sequence under a shared
+// seed.
+func TestNewNetMatchesOldDeploy(t *testing.T) {
+	d, net, test := trainedDeployment(t)
+	sn, err := d.NewNet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := net.Deploy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ExecMode{ModeReference, ModeSpiking} {
+		for i := 0; i < 12; i++ {
+			a, err := sn.Outputs(test.X[i], mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := old.Outputs(test.X[i], mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("mode %v sample %d: new %v, old %v", mode, i, a, b)
+			}
+		}
+	}
+	// Noisy mode: same seed, same variation sequence.
+	sn.SetSeed(9)
+	old.SetSeed(9)
+	for i := 0; i < 6; i++ {
+		a, err := sn.Outputs(test.X[i], ModeSpikingNoisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := old.Outputs(test.X[i], ModeSpikingNoisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("noisy sample %d: new %v, old %v", i, a, b)
+		}
+	}
+}
+
+// TestNewNetMemoized: the compile-registered net is built once per
+// deployment, so every engine shares one synthesized program; explicit
+// weights build independent nets.
+func TestNewNetMemoized(t *testing.T) {
+	d, _, _ := trainedDeployment(t)
+	a, err := d.NewNet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewNet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("NewNet(nil) did not memoize the compile-registered net")
+	}
+}
+
+// TestNewNetRequiresWeights: a deployment compiled without weights
+// cannot derive a net, and says so with the typed error.
+func TestNewNetRequiresWeights(t *testing.T) {
+	m, err := LoadBenchmark("MLP-500-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compile(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewNet(nil); !errors.Is(err, ErrModelInvalid) {
+		t.Fatalf("NewNet without weights: %v, want ErrModelInvalid", err)
+	}
+	if _, err := d.NewEngine(context.Background()); !errors.Is(err, ErrModelInvalid) {
+		t.Fatalf("NewEngine without weights: %v, want ErrModelInvalid", err)
+	}
+}
+
+// TestEngineInheritsDeploymentChips: the engine derived from a sharded
+// deployment serves the compiled partition; a conflicting explicit
+// override is the typed error, a matching one is accepted.
+func TestEngineInheritsDeploymentChips(t *testing.T) {
+	ctx := context.Background()
+	d, _, test := trainedDeployment(t, WithChips(2))
+	if d.Chips() != 2 {
+		t.Fatalf("deployment chips = %d, want 2", d.Chips())
+	}
+	eng, err := d.NewEngine(ctx, WithMode(ModeReference))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Chips() != 2 {
+		t.Errorf("engine inherited %d chips, want 2", eng.Chips())
+	}
+	if _, err := eng.Classify(ctx, test.X[0]); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	if _, err := d.NewEngine(ctx, WithEngineChips(3)); !errors.Is(err, ErrChipConflict) {
+		t.Fatalf("conflicting chip override: %v, want ErrChipConflict", err)
+	}
+	if _, err := d.NewEngine(ctx, WithEngineChips(1)); !errors.Is(err, ErrChipConflict) {
+		t.Fatalf("single-chip override of sharded deployment: %v, want ErrChipConflict", err)
+	}
+	match, err := d.NewEngine(ctx, WithEngineChips(2), WithMode(ModeReference))
+	if err != nil {
+		t.Fatalf("matching chip override rejected: %v", err)
+	}
+	match.Close()
+
+	// On a single-chip deployment an explicit override is a serving-side
+	// pipelining experiment, not a conflict.
+	single, _, _ := trainedDeployment(t)
+	eng2, err := single.NewEngine(ctx, WithEngineChips(2), WithMode(ModeReference))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	if eng2.Chips() != 2 {
+		t.Errorf("explicit pipelining realized %d chips, want 2", eng2.Chips())
+	}
+}
+
+// TestSingleHandleMatchesTwoStackPath is the acceptance criterion: one
+// handle compiles, shards and serves — Compile(ctx, m, WithChips(4),
+// WithCache(c)) then d.NewEngine(ctx) — with outputs bit-identical to
+// the old two-stack path (TrainedMLP.Deploy → NewEngine(sn, cfg)) in
+// all three exec modes.
+func TestSingleHandleMatchesTwoStackPath(t *testing.T) {
+	ctx := context.Background()
+	cache := NewCompileCache(0)
+	d, net, test := trainedDeployment(t, WithChips(4), WithCache(cache))
+	if d.Chips() < 2 {
+		t.Fatalf("deployment realized %d chips, want ≥ 2", d.Chips())
+	}
+	if _, err := d.PlaceAndRoute(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cache.Counters(); misses == 0 {
+		t.Error("compile cache unused by sharded place&route")
+	}
+	batch := test.X[:12]
+	for _, mode := range []ExecMode{ModeReference, ModeSpiking, ModeSpikingNoisy} {
+		eng, err := d.NewEngine(ctx, WithWorkers(1), WithMaxBatch(4), WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.ClassifyBatch(ctx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+
+		// The old two-stack path: deploy the net functionally, then
+		// re-declare the serving partition by hand.
+		sn, err := net.Deploy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old, err := NewEngine(sn, EngineConfig{
+			Workers: 1, MaxBatch: 4, Mode: mode, Chips: d.Chips(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := old.ClassifyBatch(ctx, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mode %v: single-handle %v, two-stack %v", mode, got, want)
+		}
+	}
+}
+
+// TestShardPolicyFlowsToEngine: the compiled WithShardPolicy governs
+// the engine's stage cut too; outputs are bit-identical under every
+// policy (the cut moves wall-clock, never results).
+func TestShardPolicyFlowsToEngine(t *testing.T) {
+	ctx := context.Background()
+	var want []int
+	for _, policy := range []ShardPolicy{ShardAuto, ShardMinCut, ShardBalanced} {
+		d, _, test := trainedDeployment(t, WithChips(2), WithShardPolicy(policy))
+		if d.Chips() != 2 {
+			t.Fatalf("policy %v: deployment chips = %d, want 2", policy, d.Chips())
+		}
+		eng, err := d.NewEngine(ctx, WithWorkers(1), WithMode(ModeReference))
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		got, err := eng.ClassifyBatch(ctx, test.X[:10])
+		eng.Close()
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("policy %v classified %v, other policies %v", policy, got, want)
+		}
+	}
+}
+
+// TestEngineClosedTyped: after Close, engine methods return the typed
+// ErrClosed, matchable both as fpsa.ErrClosed and as the internal
+// sentinel it wraps — no internal imports needed by callers.
+func TestEngineClosedTyped(t *testing.T) {
+	ctx := context.Background()
+	d, _, test := trainedDeployment(t)
+	eng, err := d.NewEngine(ctx, WithMode(ModeReference))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.ClassifyBatch(ctx, test.X[:4])
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("ClassifyBatch after Close: %v, want ErrClosed", err)
+	}
+	if !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("ErrClosed does not wrap the internal sentinel: %v", err)
+	}
+	if !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("deprecated alias no longer matches: %v", err)
+	}
+	if _, err := eng.Classify(ctx, test.X[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Classify after Close: %v, want ErrClosed", err)
+	}
+	if _, err := eng.Outputs(ctx, test.X[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Outputs after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestModelInvalidTyped: the model taxonomy is matchable.
+func TestModelInvalidTyped(t *testing.T) {
+	if _, err := Compile(context.Background(), Model{}); !errors.Is(err, ErrModelInvalid) {
+		t.Fatalf("zero-model Compile: %v, want ErrModelInvalid", err)
+	}
+}

@@ -1,6 +1,7 @@
 package fpsa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -96,7 +97,7 @@ func BenchmarkCompileVGG16(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(m, Config{Duplication: 64}); err != nil {
+		if _, err := CompileConfig(m, Config{Duplication: 64}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,14 +117,14 @@ func BenchmarkPlaceAndRoute(b *testing.B) {
 		b.Fatal(err)
 	}
 	run := func(b *testing.B, cfg Config) {
-		d, err := Compile(m, cfg)
+		d, err := CompileConfig(m, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		var cost float64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			stats, err := d.PlaceAndRoute()
+			stats, err := d.PlaceAndRoute(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -150,11 +151,11 @@ func TestPortfolioPlacementAtLeastAsGood(t *testing.T) {
 	}
 	pr := func(cfg Config) PRStats {
 		t.Helper()
-		d, err := Compile(m, cfg)
+		d, err := CompileConfig(m, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := d.PlaceAndRoute()
+		s, err := d.PlaceAndRoute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -312,7 +313,7 @@ func benchmarkEngine(b *testing.B, workers, maxBatch int) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := eng.Classify(train.X[i%len(train.X)]); err != nil {
+			if _, err := eng.Classify(context.Background(), train.X[i%len(train.X)]); err != nil {
 				b.Error(err)
 				return
 			}

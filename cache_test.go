@@ -1,6 +1,7 @@
 package fpsa
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -21,28 +22,28 @@ func TestCompileCacheHitSkipsPlaceAndRoute(t *testing.T) {
 	cfg := Config{Duplication: 1, Seed: 5, PlacementSeeds: 2, Cache: cache}
 	m := cacheTestModel(t, 24)
 
-	d1, err := Compile(m, cfg)
+	d1, err := CompileConfig(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := d1.PlaceAndRoute()
+	s1, err := d1.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1.FromCache {
 		t.Fatal("first PlaceAndRoute claims a cache hit")
 	}
-	b1, err := d1.Bitstream()
+	b1, err := d1.Bitstream(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// A fresh Compile of the same model and config must hit.
-	d2, err := Compile(cacheTestModel(t, 24), cfg)
+	d2, err := CompileConfig(cacheTestModel(t, 24), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := d2.PlaceAndRoute()
+	s2, err := d2.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestCompileCacheHitSkipsPlaceAndRoute(t *testing.T) {
 		t.Errorf("cached stats %+v differ from computed %+v", s2, s1)
 	}
 	// The memoized bitstream must be byte-identical too.
-	b2, err := d2.Bitstream()
+	b2, err := d2.Bitstream(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,11 +73,11 @@ func TestCompileCacheHitSkipsPlaceAndRoute(t *testing.T) {
 
 	// And the cached artifacts must equal an uncached recompute
 	// byte-for-byte (the determinism the cache's correctness rests on).
-	d3, err := Compile(cacheTestModel(t, 24), Config{Duplication: 1, Seed: 5, PlacementSeeds: 2})
+	d3, err := CompileConfig(cacheTestModel(t, 24), Config{Duplication: 1, Seed: 5, PlacementSeeds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s3, err := d3.PlaceAndRoute()
+	s3, err := d3.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +96,11 @@ func TestCompileCacheInvalidation(t *testing.T) {
 	base := Config{Duplication: 1, Seed: 5, Cache: cache}
 	warm := func(m Model, cfg Config) PRStats {
 		t.Helper()
-		d, err := Compile(m, cfg)
+		d, err := CompileConfig(m, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := d.PlaceAndRoute()
+		s, err := d.PlaceAndRoute(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,17 +159,17 @@ func TestCompileCacheConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			d, err := Compile(models[i], cfg)
+			d, err := CompileConfig(models[i], cfg)
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			s, err := d.PlaceAndRoute()
+			s, err := d.PlaceAndRoute(context.Background())
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			info, err := d.Bitstream()
+			info, err := d.Bitstream(context.Background())
 			if err != nil {
 				t.Error(err)
 				return

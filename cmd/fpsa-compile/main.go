@@ -5,6 +5,8 @@
 // content-addressed deployment cache. With -chips ≥ 2 the model is
 // sharded across that many chips (each placed and routed independently)
 // and the inter-chip links are charged into the performance model.
+// Everything runs under one signal-bound context, so Ctrl-C aborts a
+// long placement & routing run at its next checkpoint.
 //
 // Usage:
 //
@@ -17,9 +19,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"fpsa"
@@ -44,6 +48,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	m, err := fpsa.LoadBenchmark(*model)
 	if err != nil {
@@ -52,14 +58,18 @@ func main() {
 	fmt.Printf("model %s: %d weights, %d ops/sample, %d graph nodes\n",
 		m.Name(), m.Weights(), m.Ops(), m.Layers())
 
-	cfg := fpsa.Config{
-		Duplication: *dup, Seed: *seed, PlacementSeeds: *seeds, Parallelism: *jobs,
-		MaxChips: *chips, ChipCapacity: *chipcap, ShardPolicy: policy,
+	opts := []fpsa.Option{
+		fpsa.WithDuplication(*dup), fpsa.WithSeed(*seed),
+		fpsa.WithPlacementSeeds(*seeds), fpsa.WithParallelism(*jobs),
+		fpsa.WithChips(*chips), fpsa.WithChipCapacity(*chipcap),
+		fpsa.WithShardPolicy(policy),
 	}
+	var artifacts *fpsa.CompileCache
 	if *cache {
-		cfg.Cache = fpsa.NewCompileCache(0)
+		artifacts = fpsa.NewCompileCache(0)
+		opts = append(opts, fpsa.WithCache(artifacts))
 	}
-	d, err := fpsa.Compile(m, cfg)
+	d, err := fpsa.Compile(ctx, m, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -82,7 +92,7 @@ func main() {
 
 	if *pnr {
 		start := time.Now()
-		stats, err := d.PlaceAndRoute()
+		stats, err := d.PlaceAndRoute(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -94,18 +104,18 @@ func main() {
 		fmt.Printf("with routed hops: %s\n", routed)
 
 		if *cache {
-			// Redeploy the same model and config: the cache must serve
+			// Redeploy the same model and options: the cache must serve
 			// the artifacts without annealing or routing again.
-			d2, err := fpsa.Compile(m, cfg)
+			d2, err := fpsa.Compile(ctx, m, opts...)
 			if err != nil {
 				fail(err)
 			}
 			start = time.Now()
-			cached, err := d2.PlaceAndRoute()
+			cached, err := d2.PlaceAndRoute(ctx)
 			if err != nil {
 				fail(err)
 			}
-			hits, misses := cfg.Cache.Counters()
+			hits, misses := artifacts.Counters()
 			fmt.Printf("redeploy:    %s (%.4fs, cache %d hit / %d miss)\n",
 				cached, time.Since(start).Seconds(), hits, misses)
 		}

@@ -48,6 +48,7 @@ func main() {
 		fail(err)
 	}
 
+	ctx := context.Background()
 	ds := fpsa.SyntheticDataset(*seed, 900, 16, 4, 0.08)
 	train, test := ds.Split(2.0 / 3)
 	net, err := fpsa.TrainMLP(*seed, []int{16, 24, 4}, train, *epochs)
@@ -56,24 +57,32 @@ func main() {
 	}
 	log.Printf("trained MLP 16-24-4: float accuracy %.3f", net.Accuracy(test))
 
-	// The cache keeps re-deploys (e.g. future per-tenant engines) from
-	// re-synthesizing the same (model, config, seed).
-	cache := fpsa.NewDeployCache()
-	sn, err := cache.GetOrDeploy(fpsa.DeployKey{Model: "mlp-16-24-4", Dup: 1, Seed: *seed},
-		net.Deploy)
+	// One compile is the single source of truth for the whole serving
+	// stack: the chip partition, seed and artifact cache declared here
+	// flow into every net and engine derived from the deployment.
+	d, err := fpsa.Compile(ctx, net.Model(),
+		fpsa.WithWeightSource(net.WeightSource()),
+		fpsa.WithSeed(*seed),
+		fpsa.WithChips(*chips),
+		fpsa.WithCache(fpsa.NewCompileCache(0)),
+	)
 	if err != nil {
 		fail(err)
 	}
-	log.Printf("deployed: %d core-op stages, sampling window %d", sn.Stages(), sn.Window())
+	sn, err := d.NewNet(nil)
+	if err != nil {
+		fail(err)
+	}
+	log.Printf("deployed: %d core-op stages, sampling window %d, %d chips",
+		sn.Stages(), sn.Window(), d.Chips())
 
-	eng, err := fpsa.NewEngine(sn, fpsa.EngineConfig{
-		Workers:       *workers,
-		MaxBatch:      *batch,
-		FlushInterval: *flush,
-		QueueDepth:    *queue,
-		Mode:          mode,
-		Chips:         *chips,
-	})
+	eng, err := d.NewEngine(ctx,
+		fpsa.WithWorkers(*workers),
+		fpsa.WithMaxBatch(*batch),
+		fpsa.WithFlushInterval(*flush),
+		fpsa.WithQueueDepth(*queue),
+		fpsa.WithMode(mode),
+	)
 	if err != nil {
 		fail(err)
 	}
@@ -117,7 +126,7 @@ func main() {
 			}
 			writeJSON(w, map[string]any{"classes": labels})
 		case req.Features != nil:
-			label, err := eng.ClassifyCtx(r.Context(), req.Features)
+			label, err := eng.Classify(r.Context(), req.Features)
 			if err != nil {
 				http.Error(w, err.Error(), classifyStatus(err))
 				return
@@ -156,7 +165,7 @@ func main() {
 // server's fault, everything else (wrong length, bad values) the
 // client's.
 func classifyStatus(err error) int {
-	if errors.Is(err, fpsa.ErrEngineClosed) {
+	if errors.Is(err, fpsa.ErrClosed) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest

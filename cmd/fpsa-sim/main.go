@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,11 +30,17 @@ func main() {
 	}
 	fmt.Printf("trained MLP 16-24-4: float accuracy %.3f\n", net.Accuracy(test))
 
-	sn, err := net.Deploy()
+	// One compile carries the weights and the variation seed; the
+	// runnable net derives from the deployment.
+	d, err := fpsa.Compile(context.Background(), net.Model(),
+		fpsa.WithWeightSource(net.WeightSource()), fpsa.WithSeed(*seed))
 	if err != nil {
 		fail(err)
 	}
-	sn.SetSeed(*seed)
+	sn, err := d.NewNet(nil)
+	if err != nil {
+		fail(err)
+	}
 	fmt.Printf("deployed: %d core-op stages, sampling window %d\n", sn.Stages(), sn.Window())
 
 	modes := []struct {

@@ -1,6 +1,8 @@
 package fpsa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,6 +21,11 @@ import (
 )
 
 // Config controls compilation.
+//
+// Deprecated: new code passes functional options to Compile
+// (WithDuplication, WithChips, WithCache, …) instead of a Config
+// literal; the struct remains as the carrier behind those options and
+// the legacy CompileConfig entry point.
 type Config struct {
 	// Duplication is the model duplication degree (§5.2 of the paper);
 	// 0 means 1×.
@@ -67,6 +74,9 @@ type Config struct {
 }
 
 // DefaultConfig returns a 1× deployment on the default fabric.
+//
+// Deprecated: Compile without options compiles a 1× deployment on the
+// default fabric; there is nothing left to construct.
 func DefaultConfig() Config { return Config{Duplication: 1} }
 
 // Deployment is a model mapped onto the FPSA fabric.
@@ -82,6 +92,13 @@ type Deployment struct {
 	// compiled sub-deployment per chip. Empty for single-chip.
 	plan   *shard.Plan
 	shards []*deployShard
+
+	// weights is the WithWeights/WithWeightSource registration; net
+	// memoizes the SpikingNet NewNet derives from it so every engine of
+	// this deployment shares one synthesized program.
+	weights WeightSource
+	netMu   sync.Mutex
+	net     *SpikingNet
 
 	// Last place & route artifacts (set by PlaceAndRoute), consumed by
 	// Bitstream. lastArtifacts additionally memoizes the generated
@@ -107,13 +124,47 @@ type deployShard struct {
 	artifacts *compilecache.Artifacts
 }
 
-// Compile synthesizes, allocates and maps a model. With Config.MaxChips
-// ≥ 2 (or when ChipCapacity forces it) the model is additionally
+// Compile synthesizes, allocates and maps a model, returning the
+// Deployment every later phase hangs off: Performance and PlaceAndRoute
+// evaluate it, Bitstream configures it, NewNet and NewEngine run it.
+// Behavior is shaped by functional options — WithDuplication, WithChips,
+// WithCache, WithPlacementSeeds, WithParallelism, WithWeights, … — so
+// the chip partition, duplication and cache chosen here flow through to
+// execution instead of being re-declared per subsystem. With WithChips
+// ≥ 2 (or when WithChipCapacity forces it) the model is additionally
 // partitioned into per-chip shards, each with its own netlist.
-func Compile(m Model, cfg Config) (*Deployment, error) {
+//
+// ctx bounds the compile; cancellation or deadline expiry aborts between
+// phases and returns ctx.Err(). Errors wrap the package's taxonomy:
+// ErrModelInvalid for a model the stack rejects, ErrCapacity when the
+// model does not fit the requested chips.
+func Compile(ctx context.Context, m Model, opts ...Option) (*Deployment, error) {
+	var set compileSettings
+	for _, o := range opts {
+		if o != nil {
+			o(&set)
+		}
+	}
+	return compile(ctx, m, set)
+}
+
+// CompileConfig is the legacy struct-literal entry point.
+//
+// Deprecated: use Compile with functional options (WithConfig bridges an
+// existing Config).
+func CompileConfig(m Model, cfg Config) (*Deployment, error) {
+	return Compile(context.Background(), m, WithConfig(cfg))
+}
+
+// compile is the shared back end of Compile and the deprecated wrappers.
+func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := m.valid(); err != nil {
 		return nil, err
 	}
+	cfg := set.cfg
 	if cfg.Duplication <= 0 {
 		cfg.Duplication = 1
 	}
@@ -123,19 +174,27 @@ func Compile(m Model, cfg Config) (*Deployment, error) {
 	if cfg.MaxChips <= 0 {
 		cfg.MaxChips = 1
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	params := device.Params45nm
 	co, err := synth.Synthesize(m.graph, synth.Options{Params: params})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrModelInvalid, err)
 	}
 	alloc, err := mapper.Allocate(co, cfg.Duplication)
 	if err != nil {
-		return nil, err
+		// Allocation rejects resource requests the model cannot sustain
+		// (duplication beyond the maximum reuse degree).
+		return nil, fmt.Errorf("%w: %w", ErrCapacity, err)
 	}
-	d := &Deployment{model: m, cfg: cfg, coreop: co, alloc: alloc, params: params}
+	d := &Deployment{model: m, cfg: cfg, coreop: co, alloc: alloc, params: params, weights: set.weights}
 	if cfg.ChipCapacity > 0 && alloc.TotalPEs > cfg.ChipCapacity && cfg.MaxChips <= 1 {
-		return nil, fmt.Errorf("fpsa: model %s needs %d PEs, exceeding one chip's capacity of %d; set Config.MaxChips ≥ 2 to shard it",
-			m.Name(), alloc.TotalPEs, cfg.ChipCapacity)
+		return nil, fmt.Errorf("%w: model %s needs %d PEs, exceeding one chip's capacity of %d; compile with WithChips(n ≥ 2) to shard it",
+			ErrCapacity, m.Name(), alloc.TotalPEs, cfg.ChipCapacity)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxChips > 1 {
 		if err := d.shardify(); err != nil {
@@ -204,8 +263,8 @@ func (d *Deployment) shardify() error {
 	if cap := d.cfg.ChipCapacity; cap > 0 {
 		minChips = (d.alloc.TotalPEs + cap - 1) / cap
 		if minChips > maxChips {
-			return fmt.Errorf("fpsa: model %s needs %d PEs — at least %d chips of capacity %d — but MaxChips is %d",
-				d.model.Name(), d.alloc.TotalPEs, minChips, d.cfg.ChipCapacity, d.cfg.MaxChips)
+			return fmt.Errorf("%w: model %s needs %d PEs — at least %d chips of capacity %d — but WithChips allows %d",
+				ErrCapacity, d.model.Name(), d.alloc.TotalPEs, minChips, d.cfg.ChipCapacity, d.cfg.MaxChips)
 		}
 	} else {
 		// No capacity bound: the user asked for this many chips.
@@ -223,7 +282,7 @@ func (d *Deployment) shardify() error {
 		}
 	}
 	if err != nil {
-		return fmt.Errorf("fpsa: cannot shard %s across ≤ %d chips: %w", d.model.Name(), maxChips, err)
+		return fmt.Errorf("%w: cannot shard %s across ≤ %d chips: %w", ErrCapacity, d.model.Name(), maxChips, err)
 	}
 	if plan.Chips() == 1 {
 		// Degenerate request (one group, or MaxChips clamped to 1):
@@ -439,11 +498,22 @@ func (b BitstreamInfo) String() string {
 // verification interprets only the programmed ReRAM cells and proves every
 // net's source reaches every sink with no shorts. A sharded deployment
 // generates and verifies one configuration per chip; the info sums the
-// programmed cells and reports the busiest chip's track occupancy.
-func (d *Deployment) Bitstream() (BitstreamInfo, error) {
+// programmed cells and reports the busiest chip's track occupancy. ctx
+// bounds the generation: cancellation aborts between chips and returns
+// ctx.Err().
+func (d *Deployment) Bitstream(ctx context.Context) (BitstreamInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return BitstreamInfo{}, err
+	}
 	if len(d.shards) > 0 {
 		var total BitstreamInfo
 		for k, sh := range d.shards {
+			if err := ctx.Err(); err != nil {
+				return BitstreamInfo{}, err
+			}
 			if sh.artifacts == nil {
 				return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
 			}
@@ -510,29 +580,38 @@ func generateBitstream(nl *netlist.Netlist, art *compilecache.Artifacts) (*bitst
 
 // PlaceAndRoute runs multi-seed simulated-annealing placement and
 // parallel PathFinder routing on the deployment's netlist and reports the
-// measured communication geometry. Config.PlacementSeeds sets the
-// annealing portfolio size and Config.Parallelism the worker count; the
-// result is deterministic for a fixed (Seed, PlacementSeeds) regardless
-// of Parallelism. With Config.Cache set, the artifacts are served
-// content-addressed — a repeat deployment of the same model and Config
+// measured communication geometry. WithPlacementSeeds sets the annealing
+// portfolio size and WithParallelism the worker count; the result is
+// deterministic for a fixed (seed, portfolio size) regardless of
+// parallelism. With WithCache, the artifacts are served
+// content-addressed — a repeat deployment of the same model and options
 // skips placement and routing entirely (PRStats.FromCache). A sharded
 // deployment places and routes every chip concurrently, each shard a
 // separate cache entry; the stats aggregate the per-chip runs (see
 // PRStats.Chips). Intended for small and medium deployments (hundreds of
 // blocks); the large zoo models use the calibrated hop estimate instead.
-func (d *Deployment) PlaceAndRoute() (PRStats, error) {
+//
+// ctx bounds the run: cancellation or deadline expiry aborts the
+// annealing portfolio at its next cost checkpoint and the router at its
+// next negotiation checkpoint, returning ctx.Err(). An uncancelled run
+// is unaffected — results are bit-identical with or without a deadline.
+// A cancelled run caches nothing, so a later call recomputes.
+func (d *Deployment) PlaceAndRoute(ctx context.Context) (PRStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(d.shards) > 0 {
-		return d.placeAndRouteShards()
+		return d.placeAndRouteShards(ctx)
 	}
 	var art *compilecache.Artifacts
 	var hit bool
 	var err error
 	if d.cfg.Cache != nil {
-		art, hit, err = d.cfg.Cache.c.GetOrCompute(d.cacheKey(-1), func() (*compilecache.Artifacts, error) {
-			return d.placeAndRoute(d.nl)
+		art, hit, err = getOrComputeCtx(ctx, d.cfg.Cache, d.cacheKey(-1), func() (*compilecache.Artifacts, error) {
+			return d.placeAndRoute(ctx, d.nl)
 		})
 	} else {
-		art, err = d.placeAndRoute(d.nl)
+		art, err = d.placeAndRoute(ctx, d.nl)
 	}
 	if err != nil {
 		return PRStats{}, err
@@ -557,7 +636,7 @@ func (d *Deployment) PlaceAndRoute() (PRStats, error) {
 // independent netlist — and aggregates the per-chip stats. Shards hit the
 // deployment cache independently, so re-sharding at a different MaxChips
 // only recompiles the chips whose content actually changed.
-func (d *Deployment) placeAndRouteShards() (PRStats, error) {
+func (d *Deployment) placeAndRouteShards(ctx context.Context) (PRStats, error) {
 	type result struct {
 		art *compilecache.Artifacts
 		hit bool
@@ -571,11 +650,11 @@ func (d *Deployment) placeAndRouteShards() (PRStats, error) {
 			defer wg.Done()
 			var r result
 			if d.cfg.Cache != nil {
-				r.art, r.hit, r.err = d.cfg.Cache.c.GetOrCompute(d.cacheKey(k), func() (*compilecache.Artifacts, error) {
-					return d.placeAndRoute(sh.nl)
+				r.art, r.hit, r.err = getOrComputeCtx(ctx, d.cfg.Cache, d.cacheKey(k), func() (*compilecache.Artifacts, error) {
+					return d.placeAndRoute(ctx, sh.nl)
 				})
 			} else {
-				r.art, r.err = d.placeAndRoute(sh.nl)
+				r.art, r.err = d.placeAndRoute(ctx, sh.nl)
 			}
 			results[k] = r
 		}(k, sh)
@@ -617,23 +696,48 @@ func (d *Deployment) placeAndRouteShards() (PRStats, error) {
 	return stats, nil
 }
 
+// getOrComputeCtx is GetOrCompute with correct cancellation ownership
+// under the cache's singleflight. Two cases need care: a caller that
+// joined an in-flight computation must stop waiting when *its own* ctx
+// is done (GetOrComputeCtx bounds the wait), and it can see the joined
+// computation fail with the *computing* caller's ctx.Err(). A failed
+// compute is never cached, so when the error is a context error that
+// did not come from our own ctx, retry — the retry either finds the
+// artifacts (someone else recomputed) or becomes the computing caller
+// under our live ctx. Terminates because each retry with a live ctx
+// either succeeds or computes itself.
+func getOrComputeCtx(ctx context.Context, cache *CompileCache, key compilecache.Key, compute func() (*compilecache.Artifacts, error)) (*compilecache.Artifacts, bool, error) {
+	for {
+		art, hit, err := cache.c.GetOrComputeCtx(ctx, key, compute)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return art, hit, err
+	}
+}
+
 // placeAndRoute is the uncached compile back end for one netlist (the
 // whole deployment, or one shard of it): portfolio placement then
-// routing, packaged as cacheable artifacts.
-func (d *Deployment) placeAndRoute(nl *netlist.Netlist) (*compilecache.Artifacts, error) {
+// routing, packaged as cacheable artifacts. ctx aborts either phase at
+// its next checkpoint.
+func (d *Deployment) placeAndRoute(ctx context.Context, nl *netlist.Netlist) (*compilecache.Artifacts, error) {
 	chip, err := fabric.SizeFor(len(nl.Blocks), d.cfg.Tracks, d.params)
 	if err != nil {
 		return nil, err
 	}
-	pl, pstats, err := place.Portfolio(nl, chip, d.cfg.Seed+1, place.PortfolioOptions{
+	pl, pstats, err := place.Portfolio(ctx, nl, chip, d.cfg.Seed+1, place.PortfolioOptions{
 		Runs:    d.cfg.PlacementSeeds,
 		Workers: d.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := route.Route(nl, pl, chip, route.Options{Workers: d.cfg.Parallelism})
+	res, err := route.Route(ctx, nl, pl, chip, route.Options{Workers: d.cfg.Parallelism})
 	if err != nil {
+		if ctx.Err() == nil {
+			err = fmt.Errorf("%w: %w", ErrUnroutable, err)
+		}
 		return nil, err
 	}
 	return &compilecache.Artifacts{

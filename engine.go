@@ -2,6 +2,7 @@ package fpsa
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -9,10 +10,12 @@ import (
 	"fpsa/internal/synth"
 )
 
-// ErrEngineClosed is returned by Engine methods after Close.
-var ErrEngineClosed = serve.ErrClosed
-
 // EngineConfig shapes a serving engine.
+//
+// Deprecated: new code derives engines from a compiled Deployment with
+// Deployment.NewEngine and functional options (WithWorkers,
+// WithMaxBatch, WithMode, …); the struct remains as the carrier behind
+// those options and the legacy NewEngine entry point.
 type EngineConfig struct {
 	// Workers is the number of parallel execution replicas; each holds
 	// its own programmed simulation state. 0 means 1.
@@ -38,11 +41,18 @@ type EngineConfig struct {
 	Chips int
 }
 
-// DefaultEngineConfig returns a spiking-mode engine sized like the
-// paper's serving sweet spot: 4 workers, micro-batches of 8.
-func DefaultEngineConfig() EngineConfig {
+// defaultEngineConfig is the serving sweet spot every engine starts
+// from: 4 workers, micro-batches of 8, spiking mode.
+func defaultEngineConfig() EngineConfig {
 	return EngineConfig{Workers: 4, MaxBatch: 8, Mode: ModeSpiking}
 }
+
+// DefaultEngineConfig returns a spiking-mode engine sized like the
+// paper's serving sweet spot: 4 workers, micro-batches of 8.
+//
+// Deprecated: Deployment.NewEngine starts from these defaults; there is
+// nothing left to construct.
+func DefaultEngineConfig() EngineConfig { return defaultEngineConfig() }
 
 // Engine serves a deployed SpikingNet concurrently: requests queue into
 // micro-batches (flushed on size or deadline) and a worker pool of
@@ -54,9 +64,20 @@ type Engine struct {
 	window int
 }
 
-// NewEngine builds a serving engine over a deployed network. The
-// SpikingNet itself remains usable (and independent) afterwards.
+// NewEngine builds a serving engine over a deployed network.
+//
+// Deprecated: derive the engine from the compiled deployment instead —
+// Deployment.NewEngine — so the chip partition and seed flow from the
+// compile; WithEngineConfig bridges an existing EngineConfig.
 func NewEngine(sn *SpikingNet, cfg EngineConfig) (*Engine, error) {
+	return newEngine(sn, cfg, ShardAuto.servePolicy())
+}
+
+// newEngine builds the serving engine over a deployed network. The
+// SpikingNet itself remains usable (and independent) afterwards. policy
+// is the stage-partitioning objective of a sharded engine (carried from
+// the deployment's ShardPolicy on the Deployment.NewEngine path).
+func newEngine(sn *SpikingNet, cfg EngineConfig, policy serve.StagePolicy) (*Engine, error) {
 	mode, err := cfg.Mode.synthMode()
 	if err != nil {
 		return nil, err
@@ -69,6 +90,7 @@ func NewEngine(sn *SpikingNet, cfg EngineConfig) (*Engine, error) {
 		Mode:          mode,
 		Seed:          sn.currentSeed() + 7,
 		Chips:         cfg.Chips,
+		Policy:        policy,
 	})
 	if err != nil {
 		return nil, err
@@ -81,42 +103,54 @@ func NewEngine(sn *SpikingNet, cfg EngineConfig) (*Engine, error) {
 func (e *Engine) Chips() int { return e.eng.Chips() }
 
 // Classify queues one feature vector (values in [0, 1]) and blocks until
-// a worker returns its argmax class.
-func (e *Engine) Classify(features []float64) (int, error) {
-	return e.ClassifyCtx(context.Background(), features)
-}
-
-// ClassifyCtx is Classify with queue admission and completion bounded by
-// ctx.
-func (e *Engine) ClassifyCtx(ctx context.Context, features []float64) (int, error) {
-	out, err := e.OutputsCtx(ctx, features)
+// a worker returns its argmax class or ctx is done; queue admission and
+// completion are both bounded by ctx. After Close it returns ErrClosed.
+func (e *Engine) Classify(ctx context.Context, features []float64) (int, error) {
+	out, err := e.Outputs(ctx, features)
 	if err != nil {
 		return 0, err
 	}
 	return synth.Argmax(out), nil
 }
 
-// Outputs queues one feature vector and returns the raw output spike
-// counts.
-func (e *Engine) Outputs(features []float64) ([]int, error) {
-	return e.OutputsCtx(context.Background(), features)
+// ClassifyCtx is the old name of Classify from when the package carried
+// ctx-less/ctx-ful method pairs.
+//
+// Deprecated: use Classify.
+func (e *Engine) ClassifyCtx(ctx context.Context, features []float64) (int, error) {
+	return e.Classify(ctx, features)
 }
 
-// OutputsCtx is Outputs bounded by ctx.
+// Outputs queues one feature vector and returns the raw output spike
+// counts, bounded by ctx as in Classify.
+func (e *Engine) Outputs(ctx context.Context, features []float64) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out, err := e.eng.Infer(ctx, synth.QuantizeInput(features, e.window))
+	return out, wrapServeErr(err)
+}
+
+// OutputsCtx is the old name of Outputs.
+//
+// Deprecated: use Outputs.
 func (e *Engine) OutputsCtx(ctx context.Context, features []float64) ([]int, error) {
-	return e.eng.Infer(ctx, synth.QuantizeInput(features, e.window))
+	return e.Outputs(ctx, features)
 }
 
 // ClassifyBatch queues every sample at once — one call fills whole
 // micro-batches — and returns the positional argmax classes.
 func (e *Engine) ClassifyBatch(ctx context.Context, batch [][]float64) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ins := make([][]int, len(batch))
 	for i, f := range batch {
 		ins[i] = synth.QuantizeInput(f, e.window)
 	}
 	outs, err := e.eng.InferBatch(ctx, ins)
 	if err != nil {
-		return nil, err
+		return nil, wrapServeErr(err)
 	}
 	labels := make([]int, len(outs))
 	for i, out := range outs {
@@ -160,8 +194,19 @@ func (s EngineStats) String() string { return serve.Stats(s).String() }
 func (e *Engine) Stats() EngineStats { return EngineStats(e.eng.Stats()) }
 
 // Close drains queued requests, stops the workers and releases the
-// engine. Idempotent; Classify afterwards returns an error.
-func (e *Engine) Close() error { return e.eng.Close() }
+// engine. Idempotent; Classify afterwards returns ErrClosed.
+func (e *Engine) Close() error { return wrapServeErr(e.eng.Close()) }
+
+// wrapServeErr lifts internal serving sentinels into the package's
+// taxonomy: a closed engine surfaces as ErrClosed (which itself wraps
+// the internal sentinel), so callers errors.Is against fpsa.ErrClosed
+// without importing internals.
+func wrapServeErr(err error) error {
+	if errors.Is(err, serve.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
 
 // DeployKey identifies one deployment for caching: a model (or trained
 // network) name, its duplication/config fingerprint, and the variation

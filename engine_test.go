@@ -52,7 +52,7 @@ func TestEngineMatchesSerialClassify(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < samples; i++ {
-				label, err := eng.Classify(test.X[i])
+				label, err := eng.Classify(context.Background(), test.X[i])
 				if err != nil {
 					errs <- err
 					return

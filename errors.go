@@ -1,0 +1,46 @@
+package fpsa
+
+import (
+	"errors"
+	"fmt"
+
+	"fpsa/internal/serve"
+)
+
+// The package's error taxonomy. Every sentinel is matched with errors.Is;
+// errors returned by Compile, PlaceAndRoute, Bitstream, Deployment.NewNet,
+// Deployment.NewEngine and the Engine methods wrap the sentinel that names
+// their failure class, so callers branch on the class without parsing
+// message strings or importing internal packages.
+var (
+	// ErrModelInvalid marks a model the stack cannot compile or deploy: a
+	// zero Model, a graph the synthesizer rejects, or a functional deploy
+	// without weights.
+	ErrModelInvalid = errors.New("fpsa: invalid model")
+
+	// ErrCapacity marks a deployment whose resource request cannot be
+	// satisfied: a model whose PE demand exceeds one chip's
+	// ChipCapacity, a partition that cannot satisfy the per-chip bound
+	// within WithChips, or a duplication degree beyond what the model's
+	// reuse can sustain.
+	ErrCapacity = errors.New("fpsa: deployment exceeds capacity")
+
+	// ErrUnroutable marks a placement the router cannot complete: some
+	// net's source cannot reach a sink on the routing fabric.
+	ErrUnroutable = errors.New("fpsa: netlist unroutable")
+
+	// ErrChipConflict marks an engine whose explicit chip override
+	// disagrees with the chip partition its Deployment was compiled
+	// with (see Deployment.NewEngine and WithEngineChips).
+	ErrChipConflict = errors.New("fpsa: engine chip count conflicts with compiled deployment")
+
+	// ErrClosed is returned by Engine methods once Close has begun. It
+	// wraps the internal serving sentinel, so errors.Is matches it on
+	// every error the engine surfaces after shutdown.
+	ErrClosed = fmt.Errorf("fpsa: engine closed: %w", serve.ErrClosed)
+)
+
+// ErrEngineClosed is the old name of the closed-engine sentinel.
+//
+// Deprecated: use ErrClosed.
+var ErrEngineClosed = ErrClosed

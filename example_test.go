@@ -1,19 +1,21 @@
 package fpsa_test
 
 import (
+	"context"
 	"fmt"
 
 	"fpsa"
 )
 
 // Compiling a benchmark model reports the function-block inventory the
-// mapper allocated for it.
+// mapper allocated for it. Compile is ctx-first and option-based: the
+// zero-option call is a 1× deployment on the default fabric.
 func ExampleCompile() {
 	m, err := fpsa.LoadBenchmark("MLP-500-100")
 	if err != nil {
 		panic(err)
 	}
-	d, err := fpsa.Compile(m, fpsa.Config{Duplication: 1})
+	d, err := fpsa.Compile(context.Background(), m)
 	if err != nil {
 		panic(err)
 	}
@@ -37,9 +39,9 @@ func ExampleNewModelBuilder() {
 	// Output: weights=44 ops=4624 layers=[conv2d1 fc4]
 }
 
-// A deployed network classifies feature vectors by running actual spiking
-// core-ops.
-func ExampleDeployModel() {
+// A deployment compiled with weights derives a runnable spiking network
+// that classifies feature vectors by running actual spiking core-ops.
+func ExampleDeployment_NewNet() {
 	m, err := fpsa.NewModelBuilder("gate", 1, 1, 1).
 		FC(2).ReLU().
 		Build()
@@ -48,9 +50,13 @@ func ExampleDeployModel() {
 	}
 	// One input feature drives two outputs with opposite weights: class
 	// 0 fires on bright inputs, class 1 stays silent (ReLU clips it).
-	sn, err := fpsa.DeployModel(m, map[string][][]float64{
+	d, err := fpsa.Compile(context.Background(), m, fpsa.WithWeights(map[string][][]float64{
 		m.WeightLayers()[0]: {{1.0, -1.0}},
-	})
+	}))
+	if err != nil {
+		panic(err)
+	}
+	sn, err := d.NewNet(nil)
 	if err != nil {
 		panic(err)
 	}
@@ -81,7 +87,7 @@ func ExampleCompile_sharded() {
 	if err != nil {
 		panic(err)
 	}
-	d, err := fpsa.Compile(m, fpsa.Config{Duplication: 1, MaxChips: 2})
+	d, err := fpsa.Compile(context.Background(), m, fpsa.WithChips(2))
 	if err != nil {
 		panic(err)
 	}
@@ -95,10 +101,12 @@ func ExampleCompile_sharded() {
 	// chip 1: 1 PEs, 200 signals in
 }
 
-// A deployed network too big for one chip serves through the same
-// Engine API: EngineConfig.Chips pipelines the stages across chips, and
-// classifications are bit-identical to a single-chip engine.
-func ExampleNewEngine_sharded() {
+// A deployment compiled across chips serves through the same handle:
+// the engine derived from it inherits the chip partition and pipelines
+// the stages, with classifications bit-identical to a single-chip
+// engine.
+func ExampleDeployment_NewEngine() {
+	ctx := context.Background()
 	m, err := fpsa.NewModelBuilder("two-stage", 4, 1, 1).
 		FC(3).ReLU().
 		FC(2).ReLU().
@@ -107,21 +115,22 @@ func ExampleNewEngine_sharded() {
 		panic(err)
 	}
 	layers := m.WeightLayers()
-	sn, err := fpsa.DeployModel(m, map[string][][]float64{
-		layers[0]: {{1, 0, -1}, {0, 1, 0}, {-1, 0, 1}, {0, -1, 0}},
-		layers[1]: {{1, -1}, {-1, 1}, {0, 0}},
-	})
+	d, err := fpsa.Compile(ctx, m,
+		fpsa.WithChips(2),
+		fpsa.WithWeights(map[string][][]float64{
+			layers[0]: {{1, 0, -1}, {0, 1, 0}, {-1, 0, 1}, {0, -1, 0}},
+			layers[1]: {{1, -1}, {-1, 1}, {0, 0}},
+		}))
 	if err != nil {
 		panic(err)
 	}
-	eng, err := fpsa.NewEngine(sn, fpsa.EngineConfig{
-		Workers: 2, MaxBatch: 4, Mode: fpsa.ModeReference, Chips: 2,
-	})
+	eng, err := d.NewEngine(ctx,
+		fpsa.WithWorkers(2), fpsa.WithMaxBatch(4), fpsa.WithMode(fpsa.ModeReference))
 	if err != nil {
 		panic(err)
 	}
 	defer eng.Close()
-	label, err := eng.Classify([]float64{0.9, 0.1, 0.0, 0.2})
+	label, err := eng.Classify(ctx, []float64{0.9, 0.1, 0.0, 0.2})
 	if err != nil {
 		panic(err)
 	}

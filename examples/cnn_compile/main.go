@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	m, err := fpsa.LoadBenchmark("LeNet")
 	if err != nil {
 		log.Fatal(err)
@@ -19,12 +21,12 @@ func main() {
 	fmt.Printf("%s: %d weights, %d ops/sample\n", m.Name(), m.Weights(), m.Ops())
 
 	for _, dup := range []int{1, 4, 16} {
-		d, err := fpsa.Compile(m, fpsa.Config{Duplication: dup, Seed: 9})
+		d, err := fpsa.Compile(ctx, m, fpsa.WithDuplication(dup), fpsa.WithSeed(9))
 		if err != nil {
 			log.Fatal(err)
 		}
 		pes, smbs, clbs := d.Blocks()
-		stats, err := d.PlaceAndRoute()
+		stats, err := d.PlaceAndRoute(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

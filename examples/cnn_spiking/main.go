@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -71,7 +72,11 @@ func main() {
 		m.WeightLayers()[1]: {{1, 0}, {0, 1}}, // identity classifier
 	}
 
-	sn, err := fpsa.DeployModel(m, weights)
+	d, err := fpsa.Compile(context.Background(), m, fpsa.WithWeights(weights))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sn, err := d.NewNet(nil)
 	if err != nil {
 		log.Fatal(err)
 	}

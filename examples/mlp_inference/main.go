@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,12 @@ func main() {
 	}
 	fmt.Printf("float model accuracy: %.3f\n", net.Accuracy(test))
 
-	sn, err := net.Deploy()
+	d, err := fpsa.Compile(context.Background(), net.Model(),
+		fpsa.WithWeightSource(net.WeightSource()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sn, err := d.NewNet(nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 	fmt.Printf("%s: %.1fM weights, %.1fG ops/sample\n",
 		m.Name(), float64(m.Weights())/1e6, float64(m.Ops())/1e9)
 
-	d, err := fpsa.Compile(m, fpsa.Config{Duplication: 64})
+	d, err := fpsa.Compile(context.Background(), m, fpsa.WithDuplication(64))
 	if err != nil {
 		log.Fatal(err)
 	}

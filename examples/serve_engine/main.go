@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -14,13 +15,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds := fpsa.SyntheticDataset(7, 900, 16, 4, 0.08)
 	train, test := ds.Split(2.0 / 3)
 	net, err := fpsa.TrainMLP(7, []int{16, 24, 4}, train, 40)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sn, err := net.Deploy()
+	d, err := fpsa.Compile(ctx, net.Model(), fpsa.WithWeightSource(net.WeightSource()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sn, err := d.NewNet(nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,7 +41,7 @@ func main() {
 	}
 	serialDur := time.Since(serialStart)
 
-	eng, err := fpsa.NewEngine(sn, fpsa.DefaultEngineConfig())
+	eng, err := d.NewEngine(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +56,7 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < samples; i++ {
-				label, err := eng.Classify(test.X[i])
+				label, err := eng.Classify(ctx, test.X[i])
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -7,36 +7,51 @@
 // placement & routing — plus the performance models and baselines (PRIME,
 // FP-PRIME) behind every table and figure of the paper's evaluation.
 //
-// Typical use:
+// The API is context-first and option-based, with the Deployment as the
+// one handle everything derives from. Typical use:
 //
 //	m, _ := fpsa.LoadBenchmark("VGG16")
-//	d, _ := fpsa.Compile(m, fpsa.Config{Duplication: 64})
+//	d, _ := fpsa.Compile(ctx, m, fpsa.WithDuplication(64))
 //	fmt.Println(d.Performance())
 //
-// or train and run an actual spiking network:
+// or train a network, compile it with its weights, and run the derived
+// spiking net:
 //
 //	net, _ := fpsa.TrainMLP(1, []int{16, 24, 4}, ds, 40)
-//	sn, _ := net.Deploy()
+//	d, _ := fpsa.Compile(ctx, net.Model(), fpsa.WithWeightSource(net.WeightSource()))
+//	sn, _ := d.NewNet(nil)
 //	label, _ := sn.Classify(x, fpsa.ModeSpiking)
 //
-// or serve it under concurrent load through the batched engine:
+// or serve it under concurrent load through the batched engine — the
+// engine derives from the same deployment, so the chip partition,
+// weights and seed flow from the compile:
 //
-//	eng, _ := fpsa.NewEngine(sn, fpsa.DefaultEngineConfig())
+//	eng, _ := d.NewEngine(ctx)
 //	defer eng.Close()
-//	label, _ = eng.Classify(x) // safe from any number of goroutines
+//	label, _ = eng.Classify(ctx, x) // safe from any number of goroutines
 //	fmt.Println(eng.Stats())
 //
-// Placement & routing scale across cores and never repeat work: set
-// Config.PlacementSeeds/Parallelism for a multi-seed annealing portfolio
-// and parallel routing, and Config.Cache (see NewCompileCache) to serve
-// repeat deployments from a content-addressed artifact cache.
+// The context is live throughout: cancelling it aborts placement
+// annealing and routing at their next checkpoint with ctx.Err(), and an
+// uncancelled run is bit-identical to one without a deadline. Failures
+// carry a typed taxonomy — ErrModelInvalid, ErrCapacity, ErrUnroutable,
+// ErrChipConflict, ErrClosed — matchable with errors.Is.
 //
-// Models larger than one chip shard across several: Config.MaxChips and
-// ChipCapacity partition the compile (per-chip netlists, concurrent
+// Placement & routing scale across cores and never repeat work: pass
+// WithPlacementSeeds/WithParallelism for a multi-seed annealing
+// portfolio and parallel routing, and WithCache (see NewCompileCache)
+// to serve repeat deployments from a content-addressed artifact cache.
+//
+// Models larger than one chip shard across several: WithChips and
+// WithChipCapacity partition the compile (per-chip netlists, concurrent
 // place & route, inter-chip links charged into the performance model)
-// and EngineConfig.Chips serves the deployment as a chip-level pipeline
-// with bit-identical outputs — see ShardPolicy, Deployment.Shards and
-// docs/SERVING.md.
+// and an engine derived from the sharded deployment serves it as a
+// chip-level pipeline with bit-identical outputs — see ShardPolicy,
+// Deployment.Shards and docs/SERVING.md.
+//
+// The pre-redesign struct-based entry points (Config, EngineConfig,
+// NewEngine, DeployModel, …) remain as deprecated thin wrappers;
+// docs/API.md maps every old call to its new form.
 package fpsa
 
 import (
@@ -92,7 +107,7 @@ func (m Model) WeightLayers() []string {
 // valid reports whether the model was produced by a constructor.
 func (m Model) valid() error {
 	if m.graph == nil {
-		return fmt.Errorf("fpsa: zero Model; use LoadBenchmark or ModelBuilder")
+		return fmt.Errorf("%w: zero Model; use LoadBenchmark or ModelBuilder", ErrModelInvalid)
 	}
 	return nil
 }

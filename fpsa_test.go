@@ -1,6 +1,7 @@
 package fpsa
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -26,7 +27,7 @@ func TestLoadBenchmark(t *testing.T) {
 }
 
 func TestCompileZeroModelRejected(t *testing.T) {
-	if _, err := Compile(Model{}, DefaultConfig()); err == nil {
+	if _, err := CompileConfig(Model{}, DefaultConfig()); err == nil {
 		t.Error("zero Model compiled")
 	}
 }
@@ -36,7 +37,7 @@ func TestCompileAndPerformance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Compile(m, Config{Duplication: 4})
+	d, err := CompileConfig(m, Config{Duplication: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestModelBuilderChain(t *testing.T) {
 	if m.Weights() == 0 || m.Ops() == 0 {
 		t.Error("custom model has no weights/ops")
 	}
-	d, err := Compile(m, DefaultConfig())
+	d, err := CompileConfig(m, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +114,11 @@ func TestPlaceAndRouteSmallModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Compile(m, Config{Duplication: 1, Seed: 3})
+	d, err := CompileConfig(m, Config{Duplication: 1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := d.PlaceAndRoute()
+	stats, err := d.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestPlaceAndRouteSmallModel(t *testing.T) {
 		t.Error("routed-hops performance not positive")
 	}
 	// The final Figure 5 artifact: a verified chip configuration.
-	info, err := d.Bitstream()
+	info, err := d.Bitstream(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +154,11 @@ func TestBitstreamRequiresPlaceAndRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := Compile(m, DefaultConfig())
+	d, err := CompileConfig(m, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Bitstream(); err == nil {
+	if _, err := d.Bitstream(context.Background()); err == nil {
 		t.Error("Bitstream without PlaceAndRoute accepted")
 	}
 }

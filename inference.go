@@ -1,6 +1,7 @@
 package fpsa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -41,17 +42,17 @@ func (d Dataset) internal() trainer.Dataset {
 // (channel, ky, kx). Pooling, residual adds, flatten and ReLU need no
 // weights; grouped convolutions and LRN are not supported functionally.
 // Tensors flatten CHW: signal (c, y, x) is input index (c·H + y)·W + x.
+//
+// Deprecated: compile the model and derive the net from the one
+// deployment handle instead — Compile(ctx, m, WithWeights(weights))
+// followed by Deployment.NewNet(nil) — so the execution configuration
+// flows from the compile.
 func DeployModel(m Model, weights map[string][][]float64) (*SpikingNet, error) {
-	if err := m.valid(); err != nil {
-		return nil, err
-	}
-	opts := synth.DefaultOptions()
-	opts.Weights = func(layer string) [][]float64 { return weights[layer] }
-	_, prog, err := synth.Compile(m.graph, opts)
+	d, err := Compile(context.Background(), m, WithWeights(weights))
 	if err != nil {
 		return nil, err
 	}
-	return &SpikingNet{prog: prog}, nil
+	return d.NewNet(nil)
 }
 
 // TrainedMLP is a trained bias-free ReLU network, deployable onto FPSA.
@@ -77,16 +78,26 @@ func (t *TrainedMLP) Accuracy(ds Dataset) float64 { return t.net.Accuracy(ds.int
 // Predict returns the float model's class for one sample.
 func (t *TrainedMLP) Predict(x []float64) int { return t.net.Predict(x) }
 
+// Model returns the trained network's computational graph as a Model,
+// ready for Compile alongside WeightSource.
+func (t *TrainedMLP) Model() Model { return Model{graph: t.net.Graph("deployed-mlp")} }
+
+// WeightSource adapts the trained weights for WithWeightSource, keyed by
+// the layer names of Model().WeightLayers.
+func (t *TrainedMLP) WeightSource() WeightSource { return WeightSource(t.net.WeightSource()) }
+
 // Deploy synthesizes the trained network onto FPSA PEs and returns a
 // runnable spiking network.
+//
+// Deprecated: compile the trained model and derive the net from the one
+// deployment handle instead — Compile(ctx, t.Model(),
+// WithWeightSource(t.WeightSource())) followed by Deployment.NewNet(nil).
 func (t *TrainedMLP) Deploy() (*SpikingNet, error) {
-	opts := synth.DefaultOptions()
-	opts.Weights = t.net.WeightSource()
-	_, prog, err := synth.Compile(t.net.Graph("deployed-mlp"), opts)
+	d, err := Compile(context.Background(), t.Model(), WithWeightSource(t.WeightSource()))
 	if err != nil {
 		return nil, err
 	}
-	return &SpikingNet{prog: prog}, nil
+	return d.NewNet(nil)
 }
 
 // ExecMode selects how a SpikingNet evaluates.

@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func routedFixture(t *testing.T, seed int64, blocks, nets, maxSignals int) (*net
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := route.Route(nl, pl, chip, route.Options{})
+	res, err := route.Route(context.Background(), nl, pl, chip, route.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

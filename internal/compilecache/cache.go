@@ -11,6 +11,7 @@ package compilecache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
@@ -105,13 +106,29 @@ func New(maxEntries int) *Cache {
 // (or the in-flight computation it joined) already existed. A failed
 // compute is not cached; a later call retries.
 func (c *Cache) GetOrCompute(k Key, compute func() (*Artifacts, error)) (art *Artifacts, hit bool, err error) {
+	return c.GetOrComputeCtx(context.Background(), k, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute with a caller-owned wait bound: a
+// caller that joins another caller's in-flight computation stops
+// waiting when its own ctx is done and returns ctx.Err() — the
+// computation itself keeps running under its owner, and its result is
+// cached for later callers as usual. The computing caller's compute
+// closure is responsible for honoring its own ctx.
+func (c *Cache) GetOrComputeCtx(ctx context.Context, k Key, compute func() (*Artifacts, error)) (art *Artifacts, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {
 		c.lru.MoveToFront(e.elem)
-		c.hits.Add(1)
 		c.mu.Unlock()
-		<-e.done
-		return e.art, true, e.err
+		select {
+		case <-e.done:
+			// Count the hit only once something was actually delivered;
+			// a joiner abandoning the wait got nothing from the cache.
+			c.hits.Add(1)
+			return e.art, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
 	e := &entry{key: k, done: make(chan struct{})}
 	e.elem = c.lru.PushFront(e)

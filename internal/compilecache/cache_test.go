@@ -1,6 +1,7 @@
 package compilecache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -204,5 +205,47 @@ func TestArtifactsBitstreamMemoized(t *testing.T) {
 	}
 	if _, err := b.Bitstream(func() (*bitstream.Config, error) { return &bitstream.Config{}, nil }); err == nil {
 		t.Error("deterministic failure should be cached as final")
+	}
+}
+
+// TestJoinerWaitBoundedByContext: a caller joining an in-flight compute
+// stops waiting when its own context is done; the computation keeps
+// running under its owner and its result is cached for later callers.
+func TestJoinerWaitBoundedByContext(t *testing.T) {
+	c := New(0)
+	key := KeyFrom([32]byte{1}, "cfg")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	ownerDone := make(chan struct{})
+	go func() {
+		defer close(ownerDone)
+		art, hit, err := c.GetOrCompute(key, func() (*Artifacts, error) {
+			close(started)
+			<-release
+			return &Artifacts{}, nil
+		})
+		if err != nil || hit || art == nil {
+			t.Errorf("owner: art=%v hit=%v err=%v", art, hit, err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrComputeCtx(ctx, key, func() (*Artifacts, error) {
+		t.Error("joiner ran the compute")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("joiner with done ctx: %v, want context.Canceled", err)
+	}
+
+	close(release)
+	<-ownerDone
+	art, hit, err := c.GetOrComputeCtx(context.Background(), key, func() (*Artifacts, error) {
+		t.Error("cached result recomputed")
+		return nil, nil
+	})
+	if err != nil || !hit || art == nil {
+		t.Fatalf("post-release lookup: art=%v hit=%v err=%v", art, hit, err)
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -168,7 +169,7 @@ func AblationChannelWidth(widths []int) (ChannelWidthResult, error) {
 	for _, w := range widths {
 		c := chip
 		c.Tracks = w
-		r, err := route.Route(nl, pl, c, route.Options{})
+		r, err := route.Route(context.Background(), nl, pl, c, route.Options{})
 		if err != nil {
 			return ChannelWidthResult{}, err
 		}

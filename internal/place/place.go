@@ -11,6 +11,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -151,7 +152,7 @@ func Anneal(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	a.run(-1)
+	a.run(context.Background(), -1)
 	p, stats := a.finish()
 	return p, stats, nil
 }
@@ -267,9 +268,15 @@ func (a *annealer) step() {
 	}
 }
 
-// run advances up to maxSteps temperatures (negative = to completion).
-func (a *annealer) run(maxSteps int) {
+// run advances up to maxSteps temperatures (negative = to completion),
+// checking ctx between temperatures: a cancelled run stops early with
+// its placement frozen mid-anneal. The check never touches the rng, so
+// an uncancelled run's trajectory is unchanged.
+func (a *annealer) run(ctx context.Context, maxSteps int) {
 	for i := 0; !a.done && (maxSteps < 0 || i < maxSteps); i++ {
+		if ctx.Err() != nil {
+			return
+		}
 		a.step()
 	}
 }

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -70,7 +71,17 @@ func (s PortfolioStats) Best() Stats { return s.Runs[s.Winner].Stats }
 // the returned placement is bit-identical for any worker count,
 // including 1. At least one run always completes: the checkpoint leader
 // is never behind itself.
-func Portfolio(nl *netlist.Netlist, chip fabric.Chip, baseSeed int64, opts PortfolioOptions) (*Placement, PortfolioStats, error) {
+//
+// ctx bounds the portfolio: every run checks it between temperature
+// steps and the portfolio checks it at each checkpoint, so cancellation
+// or deadline expiry aborts promptly, discards the partial work, and
+// returns ctx.Err() with no goroutines left behind. The ctx checks never
+// touch any run's RNG, so an uncancelled portfolio is bit-identical to
+// one run without a deadline.
+func Portfolio(ctx context.Context, nl *netlist.Netlist, chip fabric.Chip, baseSeed int64, opts PortfolioOptions) (*Placement, PortfolioStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	runs := opts.Runs
 	if runs <= 0 {
 		runs = 1
@@ -101,7 +112,10 @@ func Portfolio(nl *netlist.Netlist, chip fabric.Chip, baseSeed int64, opts Portf
 	}
 
 	for len(active) > 0 {
-		pool.each(active, func(i int) { anns[i].run(segment) })
+		pool.each(active, func(i int) { anns[i].run(ctx, segment) })
+		if err := ctx.Err(); err != nil {
+			return nil, PortfolioStats{}, err
+		}
 		still := active[:0]
 		for _, i := range active {
 			if !anns[i].done {

@@ -1,6 +1,8 @@
 package place
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -19,7 +21,7 @@ func TestPortfolioOfOneMatchesAnneal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, stats, err := Portfolio(nl, chip, seed, PortfolioOptions{Runs: 1, Anneal: Options{MovesPerTemp: 200}})
+	got, stats, err := Portfolio(context.Background(), nl, chip, seed, PortfolioOptions{Runs: 1, Anneal: Options{MovesPerTemp: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
 	var refStats PortfolioStats
 	for _, workers := range []int{1, 2, 8} {
 		opts.Workers = workers
-		p, stats, err := Portfolio(nl, chip, 3, opts)
+		p, stats, err := Portfolio(context.Background(), nl, chip, 3, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +84,7 @@ func TestPortfolioWinnerIsCheapestRun(t *testing.T) {
 	}
 	// A hair-trigger margin forces cancellations: at the first checkpoint
 	// everything measurably behind the leader stops.
-	p, stats, err := Portfolio(nl, chip, 1, PortfolioOptions{Runs: 4, SegmentTemps: 8, CullMargin: 0.001, Anneal: Options{MovesPerTemp: 200}})
+	p, stats, err := Portfolio(context.Background(), nl, chip, 1, PortfolioOptions{Runs: 4, SegmentTemps: 8, CullMargin: 0.001, Anneal: Options{MovesPerTemp: 200}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,5 +101,25 @@ func TestPortfolioWinnerIsCheapestRun(t *testing.T) {
 	}
 	if stats.TotalMoves <= stats.Best().Moves {
 		t.Error("TotalMoves should sum over all runs")
+	}
+}
+
+// TestPortfolioCancelled: a cancelled context aborts the portfolio at a
+// checkpoint with ctx.Err(), for any worker count.
+func TestPortfolioCancelled(t *testing.T) {
+	nl := ringNetlist(24)
+	chip, err := fabric.SizeFor(len(nl.Blocks), 4, device.Params45nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, _, err := Portfolio(ctx, nl, chip, 1, PortfolioOptions{
+			Runs: 4, Workers: workers, Anneal: Options{MovesPerTemp: 200},
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: %v, want context.Canceled", workers, err)
+		}
 	}
 }

@@ -19,6 +19,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -218,7 +219,16 @@ func (r *router) chanCost(base, n, signals int) float64 {
 // against live occupancy. Overuse that survives the pass feeds the normal
 // history/present-cost negotiation of the next iteration, so the Result
 // is bit-identical for every worker count, including 1.
-func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Options) (*Result, error) {
+//
+// ctx bounds the routing: workers check it between nets and the
+// negotiation loop checks it between phases, so cancellation or deadline
+// expiry aborts promptly, discards the partial routing, and returns
+// ctx.Err() with no goroutines left behind. The checks never affect the
+// search, so an uncancelled run's Result is unchanged.
+func Route(ctx context.Context, nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
@@ -263,6 +273,9 @@ func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Opti
 	prevOcc := make([]int, r.nodes)
 	r.occ = make([]int, r.nodes)
 	for iter := 1; iter <= opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter
 
 		// Concurrent phase: snapshot-route every net independently.
@@ -274,7 +287,7 @@ func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Opti
 				defer wg.Done()
 				for {
 					ni := int(next.Add(1)) - 1
-					if ni >= len(nl.Nets) {
+					if ni >= len(nl.Nets) || ctx.Err() != nil {
 						return
 					}
 					net := &nl.Nets[ni]
@@ -299,6 +312,9 @@ func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Opti
 			}(scratches[w])
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for ni, err := range errs {
 			if err != nil {
 				return nil, fmt.Errorf("route: net %d: %w", ni, err)
@@ -316,6 +332,9 @@ func Route(nl *netlist.Netlist, pl *place.Placement, chip fabric.Chip, opts Opti
 		// Serial conflict-resolution pass in deterministic order.
 		st := conflictSt
 		for _, ni := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			net := &nl.Nets[ni]
 			conflicted := false
 			for _, n := range res.NetRoutes[ni] {

@@ -1,6 +1,8 @@
 package route
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -31,7 +33,7 @@ func TestRouteTwoBlockNet(t *testing.T) {
 	b := nl.AddBlock(netlist.BlockPE, "b", 1, 0)
 	nl.AddNet(a, []int{b}, 1)
 	p, chip := linePlacement(t, nl, 2, 8)
-	res, err := Route(nl, p, chip, Options{})
+	res, err := Route(context.Background(), nl, p, chip, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func TestRouteCongestionNegotiation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(nl, p, chip, Options{})
+	res, err := Route(context.Background(), nl, p, chip, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func TestRouteReportsNeededWidth(t *testing.T) {
 	b := nl.AddBlock(netlist.BlockPE, "b", 1, 0)
 	nl.AddNet(a, []int{b}, 4)
 	p, chip := linePlacement(t, nl, 2, 1)
-	res, err := Route(nl, p, chip, Options{MaxIters: 5})
+	res, err := Route(context.Background(), nl, p, chip, Options{MaxIters: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestRouteMultiSinkTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(nl, p, chip, Options{})
+	res, err := Route(context.Background(), nl, p, chip, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestRouteAnnealedLeNetClassNetlist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Route(nl, p, chip, Options{})
+	res, err := Route(context.Background(), nl, p, chip, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestRouteDeterministicAcrossWorkers(t *testing.T) {
 	}
 	var ref *Result
 	for _, workers := range []int{1, 1, 2, 4, 8} {
-		res, err := Route(nl, p, chip, Options{Workers: workers})
+		res, err := Route(context.Background(), nl, p, chip, Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,5 +248,27 @@ func TestRandomizedEstimateScales(t *testing.T) {
 	large := RandomizedEstimate(4096, rng)
 	if small <= 0 || large <= small {
 		t.Errorf("RandomizedEstimate: small=%v large=%v, want growth", small, large)
+	}
+}
+
+// TestRouteCancelled: a cancelled context aborts routing with ctx.Err(),
+// for any worker count.
+func TestRouteCancelled(t *testing.T) {
+	nl := &netlist.Netlist{}
+	blocks := make([]int, 6)
+	for i := range blocks {
+		blocks[i] = nl.AddBlock(netlist.BlockPE, "b", 0, 0)
+	}
+	for i := 1; i < len(blocks); i++ {
+		nl.AddNet(blocks[i-1], []int{blocks[i]}, 1)
+	}
+	p, chip := linePlacement(t, nl, len(blocks), 8)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := Route(ctx, nl, p, chip, Options{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: %v, want context.Canceled", workers, err)
+		}
 	}
 }

@@ -62,10 +62,39 @@ type Options struct {
 	Seed int64
 	// Chips, when ≥ 2, serves the program as a sharded deployment: the
 	// stage list is partitioned across that many pipelined chips
-	// (balanced load, clamped to what the program supports) and every
+	// (per Policy, clamped to what the program supports) and every
 	// worker feeds the one shared pipeline. 0 or 1 keeps the classic
 	// per-worker single-chip executors.
 	Chips int
+	// Policy selects the stage-partitioning objective of a sharded
+	// engine (default StageBalanced).
+	Policy StagePolicy
+}
+
+// StagePolicy selects how a sharded engine (Chips ≥ 2) cuts the
+// program's stage list across chips. The zero value is the serving
+// default: balanced per-chip load, since pipeline throughput is set by
+// the slowest chip. Outputs are bit-identical under every policy — the
+// cut changes where wall-clock goes, never results.
+type StagePolicy int
+
+// Stage-partitioning policies.
+const (
+	// StageBalanced minimizes the heaviest chip's load (the serving
+	// default).
+	StageBalanced StagePolicy = iota
+	// StageMinCut minimizes the signal traffic crossing the inter-chip
+	// links — for callers whose deployment was compiled min-cut and
+	// whose links are the scarce resource.
+	StageMinCut
+)
+
+// shardPolicy maps the serving policy onto the partitioner's.
+func (p StagePolicy) shardPolicy() shard.Policy {
+	if p == StageMinCut {
+		return shard.PolicyMinCut
+	}
+	return shard.PolicyBalanced
 }
 
 func (o Options) withDefaults() Options {
@@ -132,7 +161,7 @@ func New(prog *synth.Program, opts Options) (*Engine, error) {
 	// with adjacent seeds never share replica programming variation.
 	seeds := rand.New(rand.NewSource(opts.Seed))
 	if opts.Chips >= 2 {
-		plan, err := prog.PartitionStages(opts.Chips, shard.PolicyBalanced)
+		plan, err := prog.PartitionStages(opts.Chips, opts.Policy.shardPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("serve: partitioning across %d chips: %w", opts.Chips, err)
 		}

@@ -1,20 +1,28 @@
-// Command docscheck keeps the README honest: it extracts every CLI flag
-// declared by the binaries under cmd/ and fails when one is missing from
-// the README's flag tables (a row whose first cell is `-flagname`).
-// Rows are attributed per binary — a table documents the binary named
-// most recently above it — so a flag added to one binary cannot ride on
-// a same-named row in another binary's table. CI runs it so a new or
-// renamed flag cannot land undocumented.
+// Command docscheck keeps the repository's public surface honest, in two
+// passes. First, it extracts every CLI flag declared by the binaries
+// under cmd/ and fails when one is missing from the README's flag tables
+// (a row whose first cell is `-flagname`). Rows are attributed per
+// binary — a table documents the binary named most recently above it —
+// so a flag added to one binary cannot ride on a same-named row in
+// another binary's table. Second, it parses the root fpsa package for
+// exported symbols marked `// Deprecated:` and fails when any of them is
+// still used under cmd/ or examples/ — the in-repo users must stay on
+// the current API, so the deprecated wrappers can eventually be deleted.
+// CI runs both passes, so neither an undocumented flag nor a deprecated
+// call can land.
 //
 // Usage (from the repository root):
 //
 //	go run ./internal/tools/docscheck
-//	go run ./internal/tools/docscheck -readme README.md -cmd ./cmd
+//	go run ./internal/tools/docscheck -readme README.md -cmd ./cmd -pkg . -examples examples
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -33,6 +41,8 @@ var flagRow = regexp.MustCompile("^\\|\\s*`-([^`]+)`\\s*\\|")
 func main() {
 	readmePath := flag.String("readme", "README.md", "README file holding the flag tables")
 	cmdDir := flag.String("cmd", "cmd", "directory holding the CLI binaries")
+	pkgDir := flag.String("pkg", ".", "directory of the public package scanned for // Deprecated: symbols")
+	examplesDir := flag.String("examples", "examples", "directory of the example programs")
 	flag.Parse()
 
 	mains, err := filepath.Glob(filepath.Join(*cmdDir, "*", "main.go"))
@@ -108,6 +118,153 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("docscheck: %d flags across %d binaries all documented in %s\n", total, len(mains), *readmePath)
+
+	checkDeprecatedUsage(*pkgDir, *cmdDir, *examplesDir)
+}
+
+// deprecatedSymbols parses the public package and returns its exported
+// symbols whose doc comment carries a "Deprecated:" marker: package-level
+// names (funcs, types, vars, consts) and method names separately, since
+// the two are matched differently at use sites.
+func deprecatedSymbols(pkgDir string) (pkgSyms, methodSyms []string) {
+	files, err := filepath.Glob(filepath.Join(pkgDir, "*.go"))
+	if err != nil {
+		fail(err)
+	}
+	fset := token.NewFileSet()
+	deprecated := func(doc *ast.CommentGroup) bool {
+		return doc != nil && strings.Contains(doc.Text(), "Deprecated:")
+	}
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fail(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !deprecated(d.Doc) || !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					methodSyms = append(methodSyms, d.Name.Name)
+				} else {
+					pkgSyms = append(pkgSyms, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if (deprecated(d.Doc) || deprecated(s.Doc)) && s.Name.IsExported() {
+							pkgSyms = append(pkgSyms, s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if deprecated(d.Doc) || deprecated(s.Doc) {
+							for _, n := range s.Names {
+								if n.IsExported() {
+									pkgSyms = append(pkgSyms, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(pkgSyms)
+	sort.Strings(methodSyms)
+	return pkgSyms, methodSyms
+}
+
+// checkDeprecatedUsage fails the build when a deprecated public symbol is
+// still used by the in-repo consumers under cmd/ or examples/. Use sites
+// are found in the parsed AST, never in raw text, so a comment that
+// merely mentions a deprecated symbol (a migration note, say) cannot
+// trip the check: package-level symbols match fpsa.Name selector
+// expressions (the import's local alias is honored), deprecated methods
+// match .Name(...) calls by name. The method match is untyped — a
+// cmd/example calling an unrelated type's same-named method would trip
+// it — which is accepted as fail-closed: the consumers are small, the
+// deprecated method names (ClassifyCtx, OutputsCtx, Deploy) are
+// distinctive, and a false hit fails loudly at CI rather than letting a
+// deprecated call land silently.
+func checkDeprecatedUsage(pkgDir, cmdDir, examplesDir string) {
+	pkgSyms, methodSyms := deprecatedSymbols(pkgDir)
+	if len(pkgSyms)+len(methodSyms) == 0 {
+		fmt.Println("docscheck: no deprecated symbols declared; nothing to check")
+		return
+	}
+	isPkgSym := make(map[string]bool, len(pkgSyms))
+	for _, s := range pkgSyms {
+		isPkgSym[s] = true
+	}
+	isMethod := make(map[string]bool, len(methodSyms))
+	for _, s := range methodSyms {
+		isMethod[s] = true
+	}
+
+	var sources []string
+	for _, dir := range []string{cmdDir, examplesDir} {
+		globbed, err := filepath.Glob(filepath.Join(dir, "*", "*.go"))
+		if err != nil {
+			fail(err)
+		}
+		sources = append(sources, globbed...)
+	}
+	sort.Strings(sources)
+	type use struct {
+		where string
+		what  string
+	}
+	var uses []use
+	fset := token.NewFileSet()
+	for _, path := range sources {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			fail(err)
+		}
+		// Resolve what the fpsa package is called in this file: the
+		// default "fpsa", or the local alias of a renamed import — so
+		// `import f "fpsa"; f.DeployModel(...)` cannot evade the gate.
+		pkgName := ""
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "fpsa" {
+				continue
+			}
+			pkgName = "fpsa"
+			if imp.Name != nil {
+				pkgName = imp.Name.Name
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if x, ok := e.X.(*ast.Ident); ok && pkgName != "" && x.Name == pkgName && isPkgSym[e.Sel.Name] {
+					uses = append(uses, use{where: fset.Position(e.Pos()).String(), what: pkgName + "." + e.Sel.Name})
+				}
+			case *ast.CallExpr:
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok && isMethod[sel.Sel.Name] {
+					if x, ok := sel.X.(*ast.Ident); !ok || x.Name != pkgName {
+						uses = append(uses, use{where: fset.Position(e.Pos()).String(), what: "." + sel.Sel.Name + "(…)"})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(uses) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d use(s) of deprecated fpsa symbols under cmd/ and examples/:\n", len(uses))
+		for _, u := range uses {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", u.where, u.what)
+		}
+		fmt.Fprintln(os.Stderr, "migrate to the current API (see docs/API.md) — the in-repo consumers must not lean on deprecated wrappers.")
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d deprecated symbols unused under %s and %s\n",
+		len(pkgSyms)+len(methodSyms), cmdDir, examplesDir)
 }
 
 func fail(err error) {

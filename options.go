@@ -1,0 +1,171 @@
+package fpsa
+
+import "time"
+
+// WeightSource supplies trained float weights per MAC layer name (see
+// Model.WeightLayers): FC layers are [in][out] matrices, ungrouped
+// convolutions [K²·Cin][OutC] with rows ordered (channel, ky, kx). A nil
+// return for a layer means no weights for it.
+type WeightSource func(layer string) [][]float64
+
+// compileSettings is what the compile Options assemble: the classic
+// Config plus everything that flows from compile to execution but never
+// entered the old struct (the functional weights).
+type compileSettings struct {
+	cfg     Config
+	weights WeightSource
+}
+
+// Option configures Compile. Options are applied in order, so a later
+// option overrides an earlier one; a nil Option is ignored.
+type Option func(*compileSettings)
+
+// WithDuplication sets the model duplication degree (§5.2 of the paper);
+// the default is 1×.
+func WithDuplication(n int) Option {
+	return func(s *compileSettings) { s.cfg.Duplication = n }
+}
+
+// WithTracks overrides the routing channel width (default 2048).
+func WithTracks(n int) Option {
+	return func(s *compileSettings) { s.cfg.Tracks = n }
+}
+
+// WithSeed fixes the deployment's seed: it drives placement annealing
+// and seeds the programming-variation stream of nets derived with
+// Deployment.NewNet.
+func WithSeed(seed int64) Option {
+	return func(s *compileSettings) { s.cfg.Seed = seed }
+}
+
+// WithPlacementSeeds sets the multi-seed annealing portfolio size
+// PlaceAndRoute runs (≤ 1 = a single run). See Config.PlacementSeeds.
+func WithPlacementSeeds(n int) Option {
+	return func(s *compileSettings) { s.cfg.PlacementSeeds = n }
+}
+
+// WithParallelism bounds the worker goroutines PlaceAndRoute uses for
+// both the annealing portfolio and per-iteration net routing
+// (0 = GOMAXPROCS). It changes wall-clock only, never results.
+func WithParallelism(n int) Option {
+	return func(s *compileSettings) { s.cfg.Parallelism = n }
+}
+
+// WithCache memoizes placement/routing/bitstream artifacts in the given
+// content-addressed cache: a cache-hit PlaceAndRoute skips both phases
+// entirely. Share one cache across every Compile in the process (see
+// NewCompileCache and DeployCache.Artifacts).
+func WithCache(c *CompileCache) Option {
+	return func(s *compileSettings) { s.cfg.Cache = c }
+}
+
+// WithChips allows the deployment to span up to n chips (≤ 1 = the
+// classic single-chip compile). A model whose PE demand exceeds
+// WithChipCapacity is an error on one chip; with n ≥ 2 the core-op graph
+// is partitioned across chips instead and each chip is placed, routed
+// and configured independently. Engines derived with Deployment.NewEngine
+// inherit the realized chip count, so the served pipeline always matches
+// the compiled partition.
+func WithChips(n int) Option {
+	return func(s *compileSettings) { s.cfg.MaxChips = n }
+}
+
+// WithChipCapacity bounds one chip's PE count (0 = unbounded); with
+// WithChips the model shards onto the fewest chips that fit.
+func WithChipCapacity(n int) Option {
+	return func(s *compileSettings) { s.cfg.ChipCapacity = n }
+}
+
+// WithShardPolicy selects the multi-chip partitioning objective, on
+// both sides of the stack: the compiled chip partition and the stage
+// cut of engines derived with Deployment.NewEngine. ShardAuto (the
+// default) picks each side's natural objective — minimal inter-chip
+// traffic for compilation, balanced per-chip load for the serving
+// pipeline; an explicit ShardMinCut or ShardBalanced governs both.
+func WithShardPolicy(p ShardPolicy) Option {
+	return func(s *compileSettings) { s.cfg.ShardPolicy = p }
+}
+
+// WithWeights registers trained weights with the deployment, keyed by
+// MAC layer name, so Deployment.NewNet and Deployment.NewEngine can
+// derive a runnable SpikingNet without re-supplying them.
+func WithWeights(weights map[string][][]float64) Option {
+	if weights == nil {
+		return func(*compileSettings) {}
+	}
+	return WithWeightSource(func(layer string) [][]float64 { return weights[layer] })
+}
+
+// WithWeightSource registers a weight source with the deployment — the
+// functional-closure form of WithWeights (see TrainedMLP.WeightSource).
+func WithWeightSource(src WeightSource) Option {
+	return func(s *compileSettings) { s.weights = src }
+}
+
+// WithConfig applies a whole legacy Config at once. It exists so the
+// deprecated Config-struct entry points stay thin; new code should use
+// the individual options.
+func WithConfig(cfg Config) Option {
+	return func(s *compileSettings) { s.cfg = cfg }
+}
+
+// engineSettings is what the EngineOptions assemble. chipsSet records an
+// explicit chip override so Deployment.NewEngine can distinguish "serve
+// the compiled partition" (the default) from a conflicting request.
+type engineSettings struct {
+	cfg      EngineConfig
+	chipsSet bool
+}
+
+// EngineOption configures Deployment.NewEngine. Options are applied in
+// order; a nil EngineOption is ignored.
+type EngineOption func(*engineSettings)
+
+// WithWorkers sets the number of parallel execution replicas, each
+// holding its own programmed simulation state (default 4).
+func WithWorkers(n int) EngineOption {
+	return func(s *engineSettings) { s.cfg.Workers = n }
+}
+
+// WithMaxBatch sets the micro-batch flush size (default 8).
+func WithMaxBatch(n int) EngineOption {
+	return func(s *engineSettings) { s.cfg.MaxBatch = n }
+}
+
+// WithFlushInterval sets the micro-batch flush deadline (default 500µs).
+func WithFlushInterval(d time.Duration) EngineOption {
+	return func(s *engineSettings) { s.cfg.FlushInterval = d }
+}
+
+// WithQueueDepth bounds the request queue (default 1024).
+func WithQueueDepth(n int) EngineOption {
+	return func(s *engineSettings) { s.cfg.QueueDepth = n }
+}
+
+// WithMode selects the execution semantics (default ModeSpiking, the
+// serving default).
+func WithMode(m ExecMode) EngineOption {
+	return func(s *engineSettings) { s.cfg.Mode = m }
+}
+
+// WithEngineChips explicitly overrides the engine's chip count. An
+// engine derived from a sharded Deployment inherits the compiled chip
+// count by default; an override that disagrees with a multi-chip
+// deployment returns ErrChipConflict rather than silently serving a
+// different partition. On a single-chip deployment, n ≥ 2 pipelines the
+// program's stages across n simulated chips (a serving-side experiment;
+// outputs stay bit-identical).
+func WithEngineChips(n int) EngineOption {
+	return func(s *engineSettings) { s.cfg.Chips = n; s.chipsSet = true }
+}
+
+// WithEngineConfig applies a whole legacy EngineConfig at once, keeping
+// the deprecated struct entry points thin; new code should use the
+// individual options. The Chips field counts as an explicit override
+// only when non-zero.
+func WithEngineConfig(cfg EngineConfig) EngineOption {
+	return func(s *engineSettings) {
+		s.cfg = cfg
+		s.chipsSet = cfg.Chips != 0
+	}
+}

@@ -84,6 +84,7 @@ func (r ServingBenchResult) String() string {
 // paper's throughput story (§6): batching is where crossbar throughput
 // comes from, and the engine stacks worker parallelism on top.
 func ServingBench(opts ServingBenchOptions) (ServingBenchResult, error) {
+	ctx := context.Background()
 	opts = opts.withDefaults()
 	res := ServingBenchResult{Options: opts}
 	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
@@ -92,7 +93,11 @@ func ServingBench(opts ServingBenchOptions) (ServingBenchResult, error) {
 	if err != nil {
 		return res, err
 	}
-	sn, err := net.Deploy()
+	d, err := Compile(ctx, net.Model(), WithWeightSource(net.WeightSource()))
+	if err != nil {
+		return res, err
+	}
+	sn, err := d.NewNet(nil)
 	if err != nil {
 		return res, err
 	}
@@ -133,7 +138,7 @@ func ServingBench(opts ServingBenchOptions) (ServingBenchResult, error) {
 		res.BatchSpeedup = res.BatchedSPS / res.SerialSPS
 	}
 
-	eng, err := NewEngine(sn, EngineConfig{Workers: opts.Workers, MaxBatch: opts.Batch, Mode: opts.Mode})
+	eng, err := d.NewEngine(ctx, WithWorkers(opts.Workers), WithMaxBatch(opts.Batch), WithMode(opts.Mode))
 	if err != nil {
 		return res, err
 	}
@@ -143,7 +148,7 @@ func ServingBench(opts ServingBenchOptions) (ServingBenchResult, error) {
 		features[i] = train.X[i%len(train.X)]
 	}
 	start = time.Now()
-	if _, err := eng.ClassifyBatch(context.Background(), features); err != nil {
+	if _, err := eng.ClassifyBatch(ctx, features); err != nil {
 		return res, err
 	}
 	res.EngineSPS = rate(opts.Samples, time.Since(start))

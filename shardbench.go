@@ -1,6 +1,7 @@
 package fpsa
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -124,7 +125,11 @@ func ShardingBench(opts ShardingBenchOptions) (ShardingBenchResult, error) {
 	if err != nil {
 		return res, err
 	}
-	sn, err := net.Deploy()
+	d, err := Compile(context.Background(), net.Model(), WithWeightSource(net.WeightSource()))
+	if err != nil {
+		return res, err
+	}
+	sn, err := d.NewNet(nil)
 	if err != nil {
 		return res, err
 	}

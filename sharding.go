@@ -3,6 +3,7 @@ package fpsa
 import (
 	"fmt"
 
+	"fpsa/internal/serve"
 	"fpsa/internal/shard"
 )
 
@@ -62,6 +63,18 @@ func (p ShardPolicy) compilePolicy() (shard.Policy, error) {
 		return shard.PolicyBalanced, nil
 	}
 	return 0, fmt.Errorf("fpsa: unknown shard policy %d", int(p))
+}
+
+// servePolicy maps the public policy onto the serving engine's
+// stage-partitioning objective (Auto = balanced: pipeline throughput is
+// set by the slowest chip). An engine derived from a deployment carries
+// the deployment's policy here, so an explicit ShardMinCut or
+// ShardBalanced governs both the compiled partition and the served one.
+func (p ShardPolicy) servePolicy() serve.StagePolicy {
+	if p == ShardMinCut {
+		return serve.StageMinCut
+	}
+	return serve.StageBalanced
 }
 
 // ShardInfo describes one chip of a sharded deployment.

@@ -2,6 +2,7 @@ package fpsa
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ func shardTestModel(t *testing.T) Model {
 // hard error at MaxChips 1 — and the error names the fix.
 func TestCompileExceedsCapacityErrors(t *testing.T) {
 	m := shardTestModel(t)
-	d, err := Compile(m, DefaultConfig())
+	d, err := CompileConfig(m, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,12 +29,15 @@ func TestCompileExceedsCapacityErrors(t *testing.T) {
 	if pes < 2 {
 		t.Fatalf("test model occupies %d PEs, cannot exercise capacity", pes)
 	}
-	_, err = Compile(m, Config{Duplication: 1, ChipCapacity: pes - 1})
+	_, err = CompileConfig(m, Config{Duplication: 1, ChipCapacity: pes - 1})
 	if err == nil {
 		t.Fatal("over-capacity compile succeeded on one chip")
 	}
-	if !strings.Contains(err.Error(), "MaxChips") {
-		t.Fatalf("error %q does not suggest MaxChips", err)
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("error %q is not ErrCapacity", err)
+	}
+	if !strings.Contains(err.Error(), "WithChips") {
+		t.Fatalf("error %q does not suggest WithChips", err)
 	}
 }
 
@@ -42,7 +46,7 @@ func TestCompileExceedsCapacityErrors(t *testing.T) {
 // the PE inventory.
 func TestCompileSharded(t *testing.T) {
 	m := shardTestModel(t)
-	single, err := Compile(m, DefaultConfig())
+	single, err := CompileConfig(m, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +56,7 @@ func TestCompileSharded(t *testing.T) {
 	}
 
 	capacity := wantPEs - 1
-	d, err := Compile(m, Config{Duplication: 1, ChipCapacity: capacity, MaxChips: 4})
+	d, err := CompileConfig(m, Config{Duplication: 1, ChipCapacity: capacity, MaxChips: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +100,7 @@ func TestCompileSharded(t *testing.T) {
 // for exactly that many chips.
 func TestCompileShardedExactChips(t *testing.T) {
 	m := shardTestModel(t)
-	d, err := Compile(m, Config{Duplication: 1, MaxChips: 3})
+	d, err := CompileConfig(m, Config{Duplication: 1, MaxChips: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +113,7 @@ func TestCompileShardedExactChips(t *testing.T) {
 // capacity cannot shard at any chip count.
 func TestCompileInfeasibleSharding(t *testing.T) {
 	m := shardTestModel(t)
-	if _, err := Compile(m, Config{Duplication: 1, ChipCapacity: 1, MaxChips: 2}); err == nil {
+	if _, err := CompileConfig(m, Config{Duplication: 1, ChipCapacity: 1, MaxChips: 2}); err == nil {
 		t.Fatal("infeasible sharding accepted (capacity 1 cannot hold the model at 2 chips)")
 	}
 }
@@ -119,11 +123,11 @@ func TestCompileInfeasibleSharding(t *testing.T) {
 // chip.
 func TestShardedPlaceAndRoute(t *testing.T) {
 	m := shardTestModel(t)
-	d, err := Compile(m, Config{Duplication: 1, MaxChips: 2, Seed: 3})
+	d, err := CompileConfig(m, Config{Duplication: 1, MaxChips: 2, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := d.PlaceAndRoute()
+	stats, err := d.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +143,7 @@ func TestShardedPlaceAndRoute(t *testing.T) {
 	if !strings.Contains(stats.String(), "2 chips") {
 		t.Errorf("stats string %q missing chip count", stats)
 	}
-	info, err := d.Bitstream()
+	info, err := d.Bitstream(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,22 +158,22 @@ func TestShardedPlaceAndRouteCached(t *testing.T) {
 	m := shardTestModel(t)
 	cache := NewCompileCache(0)
 	cfg := Config{Duplication: 1, MaxChips: 2, Seed: 3, Cache: cache}
-	d, err := Compile(m, cfg)
+	d, err := CompileConfig(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := d.PlaceAndRoute()
+	cold, err := d.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cold.FromCache {
 		t.Fatal("first sharded PlaceAndRoute reported FromCache")
 	}
-	d2, err := Compile(m, cfg)
+	d2, err := CompileConfig(m, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := d2.PlaceAndRoute()
+	warm, err := d2.PlaceAndRoute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +193,7 @@ func TestShardedPlaceAndRouteCached(t *testing.T) {
 // chips reported, link time > 0, latency above the single-chip figure.
 func TestShardedPerformance(t *testing.T) {
 	m := shardTestModel(t)
-	single, err := Compile(m, DefaultConfig())
+	single, err := CompileConfig(m, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +204,7 @@ func TestShardedPerformance(t *testing.T) {
 	if sp.Chips != 1 || sp.LinkNSPerSample != 0 {
 		t.Fatalf("single-chip perf reports %d chips, link %g", sp.Chips, sp.LinkNSPerSample)
 	}
-	d, err := Compile(m, Config{Duplication: 1, MaxChips: 2})
+	d, err := CompileConfig(m, Config{Duplication: 1, MaxChips: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,18 +312,18 @@ func TestShardingBench(t *testing.T) {
 func TestReshardingReusesUnchangedShards(t *testing.T) {
 	m := shardTestModel(t)
 	cache := NewCompileCache(0)
-	d2, err := Compile(m, Config{Duplication: 1, MaxChips: 2, Seed: 3, Cache: cache})
+	d2, err := CompileConfig(m, Config{Duplication: 1, MaxChips: 2, Seed: 3, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d2.PlaceAndRoute(); err != nil {
+	if _, err := d2.PlaceAndRoute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ranges2 := make(map[[2]int]bool)
 	for _, sh := range d2.shards {
 		ranges2[[2]int{sh.lo, sh.hi}] = true
 	}
-	d3, err := Compile(m, Config{Duplication: 1, MaxChips: 3, Seed: 3, Cache: cache})
+	d3, err := CompileConfig(m, Config{Duplication: 1, MaxChips: 3, Seed: 3, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +333,7 @@ func TestReshardingReusesUnchangedShards(t *testing.T) {
 			shared++
 		}
 	}
-	if _, err := d3.PlaceAndRoute(); err != nil {
+	if _, err := d3.PlaceAndRoute(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses := cache.Counters()
