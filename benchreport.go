@@ -1,0 +1,45 @@
+package fpsa
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+)
+
+// BenchReport bundles the measured serving artifacts — the single-chip
+// serving-throughput benchmark and the multi-chip sharded-pipeline sweep
+// — in one machine-readable record, together with the host parallelism
+// that shaped the numbers (pipeline speedup needs GOMAXPROCS ≥ chips).
+// fpsa-bench -json emits it; committed snapshots (BENCH_PR*.json) track
+// the numbers across changes.
+type BenchReport struct {
+	// GoMaxProcs and NumCPU record the parallelism available to the
+	// run; a 1-core host cannot show pipeline speedup.
+	GoMaxProcs int
+	NumCPU     int
+	Serving    ServingBenchResult
+	Sharding   ShardingBenchResult
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r BenchReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// RunBenchReport runs both measured serving experiments at the given
+// micro-batch size (≤ 0 uses the default) and returns the combined
+// report. It backs fpsa-bench's -json flag; ctx bounds both runs.
+func RunBenchReport(ctx context.Context, batch int) (BenchReport, error) {
+	rep := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	var err error
+	rep.Serving, err = ServingBench(ctx, ServingBenchOptions{Batch: batch, Mode: ModeSpiking})
+	if err != nil {
+		return rep, err
+	}
+	rep.Sharding, err = ShardingBench(ctx, ShardingBenchOptions{Batch: batch, Mode: ModeSpiking})
+	return rep, err
+}

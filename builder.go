@@ -100,7 +100,7 @@ func (b *ModelBuilder) Residual(label string) *ModelBuilder {
 	}
 	tap, ok := b.marks[label]
 	if !ok {
-		b.err = fmt.Errorf("fpsa: no mark %q", label)
+		b.err = fmt.Errorf("%w: no mark %q", ErrModelInvalid, label)
 		return b
 	}
 	return b.add("", cgraph.Add{}, b.cur, tap)
@@ -116,7 +116,7 @@ func (b *ModelBuilder) Concat(labels ...string) *ModelBuilder {
 	for _, l := range labels {
 		tap, ok := b.marks[l]
 		if !ok {
-			b.err = fmt.Errorf("fpsa: no mark %q", l)
+			b.err = fmt.Errorf("%w: no mark %q", ErrModelInvalid, l)
 			return b
 		}
 		inputs = append(inputs, tap)

@@ -9,13 +9,16 @@
 //	fpsa-bench -exp figure8            # one artifact
 //	fpsa-bench -exp serving -batch 32  # serving throughput at batch 32
 //	fpsa-bench -exp sharding           # 1/2/4-chip pipelined serving
+//	fpsa-bench -json -out BENCH.json   # machine-readable serving report
 //	fpsa-bench -list                   # show artifact IDs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"fpsa"
@@ -24,32 +27,51 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	batch := flag.Int("batch", 0, "micro-batch size for the serving and sharding experiments (0 = default 16)")
+	jsonOut := flag.Bool("json", false, "emit the serving and sharding results as one JSON report (ignores -exp)")
+	out := flag.String("out", "", "write output to this file instead of stdout")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(fpsa.ExperimentIDs(), "\n"))
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	id := strings.ToLower(*exp)
 	serving := id == "serving"
 	sharding := id == "sharding"
-	if *batch != 0 && !serving && !sharding {
-		fmt.Fprintln(os.Stderr, "fpsa-bench: -batch only applies to -exp serving or -exp sharding")
+	if *batch != 0 && !serving && !sharding && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "fpsa-bench: -batch only applies to -exp serving, -exp sharding, or -json")
 		os.Exit(1)
 	}
-	var out string
+	var text string
 	var err error
 	switch {
+	case *jsonOut:
+		var rep fpsa.BenchReport
+		rep, err = fpsa.RunBenchReport(ctx, *batch)
+		if err == nil {
+			var b []byte
+			b, err = rep.JSON()
+			text = string(b)
+		}
 	case serving:
-		out, err = fpsa.RunServingExperiment(*batch)
+		text, err = fpsa.RunServingExperiment(ctx, *batch)
 	case sharding:
-		out, err = fpsa.RunShardingExperiment(*batch)
+		text, err = fpsa.RunShardingExperiment(ctx, *batch)
 	default:
-		out, err = fpsa.RunExperiment(*exp)
+		text, err = fpsa.RunExperiment(ctx, *exp)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpsa-bench:", err)
 		os.Exit(1)
 	}
-	fmt.Print(out)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fpsa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(text)
 }

@@ -515,7 +515,7 @@ func (d *Deployment) Bitstream(ctx context.Context) (BitstreamInfo, error) {
 				return BitstreamInfo{}, err
 			}
 			if sh.artifacts == nil {
-				return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
+				return BitstreamInfo{}, fmt.Errorf("%w: run PlaceAndRoute before Bitstream", ErrNotPlaced)
 			}
 			cfg, err := sh.artifacts.Bitstream(func() (*bitstream.Config, error) {
 				return generateBitstream(sh.nl, sh.artifacts)
@@ -533,7 +533,7 @@ func (d *Deployment) Bitstream(ctx context.Context) (BitstreamInfo, error) {
 		return total, nil
 	}
 	if d.lastRoute == nil {
-		return BitstreamInfo{}, fmt.Errorf("fpsa: run PlaceAndRoute before Bitstream")
+		return BitstreamInfo{}, fmt.Errorf("%w: run PlaceAndRoute before Bitstream", ErrNotPlaced)
 	}
 	gen := func() (*bitstream.Config, error) {
 		cfg, err := bitstream.Generate(d.nl, d.lastPlacement, d.lastRoute, d.lastChip)

@@ -38,6 +38,16 @@ var (
 	// wraps the internal serving sentinel, so errors.Is matches it on
 	// every error the engine surfaces after shutdown.
 	ErrClosed = fmt.Errorf("fpsa: engine closed: %w", serve.ErrClosed)
+
+	// ErrInvalidArgument marks a request the API cannot interpret: an
+	// unknown exec mode, shard policy, weight representation, or
+	// experiment id.
+	ErrInvalidArgument = errors.New("fpsa: invalid argument")
+
+	// ErrNotPlaced marks a Bitstream request on a deployment that has
+	// not completed PlaceAndRoute; run PlaceAndRoute (or Compile, which
+	// runs it) first.
+	ErrNotPlaced = errors.New("fpsa: deployment not placed-and-routed")
 )
 
 // ErrEngineClosed is the old name of the closed-engine sentinel.

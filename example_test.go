@@ -70,7 +70,7 @@ func ExampleDeployment_NewNet() {
 
 // Experiment drivers regenerate the paper's artifacts as text.
 func ExampleRunExperiment() {
-	out, err := fpsa.RunExperiment("table2")
+	out, err := fpsa.RunExperiment(context.Background(), "table2")
 	if err != nil {
 		panic(err)
 	}

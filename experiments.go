@@ -1,6 +1,7 @@
 package fpsa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,8 +25,9 @@ func ExperimentIDs() []string {
 }
 
 // RunExperiment regenerates one paper table or figure and returns its text
-// rendering. "all" runs everything.
-func RunExperiment(id string) (string, error) {
+// rendering. "all" runs everything. ctx bounds the long-running
+// experiments (place-and-route sweeps, the serving benchmarks).
+func RunExperiment(ctx context.Context, id string) (string, error) {
 	switch strings.ToLower(id) {
 	case "table1":
 		return experiments.RenderTable1(experiments.Table1(device.Params45nm)), nil
@@ -74,15 +76,15 @@ func RunExperiment(id string) (string, error) {
 		}
 		return experiments.RenderAblationTransmission(r), nil
 	case "ablation-channels":
-		r, err := experiments.AblationChannelWidth(nil)
+		r, err := experiments.AblationChannelWidth(ctx, nil)
 		if err != nil {
 			return "", err
 		}
 		return experiments.RenderAblationChannelWidth(r), nil
 	case "serving":
-		return RunServingExperiment(0)
+		return RunServingExperiment(ctx, 0)
 	case "sharding":
-		return RunShardingExperiment(0)
+		return RunShardingExperiment(ctx, 0)
 	case "ablation-heteropes":
 		rows, err := experiments.AblationHeteroPEs(64)
 		if err != nil {
@@ -92,7 +94,7 @@ func RunExperiment(id string) (string, error) {
 	case "all":
 		var b strings.Builder
 		for _, one := range ExperimentIDs() {
-			out, err := RunExperiment(one)
+			out, err := RunExperiment(ctx, one)
 			if err != nil {
 				return "", fmt.Errorf("fpsa: %s: %w", one, err)
 			}
@@ -101,6 +103,6 @@ func RunExperiment(id string) (string, error) {
 		}
 		return b.String(), nil
 	default:
-		return "", fmt.Errorf("fpsa: unknown experiment %q (known: %v, all)", id, ExperimentIDs())
+		return "", fmt.Errorf("%w: unknown experiment %q (known: %v, all)", ErrInvalidArgument, id, ExperimentIDs())
 	}
 }

@@ -286,36 +286,36 @@ func TestDeployCustomCNN(t *testing.T) {
 }
 
 func TestRunExperimentDispatch(t *testing.T) {
-	out, err := RunExperiment("table1")
+	out, err := RunExperiment(context.Background(), "table1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "Table 1") {
 		t.Errorf("table1 output: %s", out)
 	}
-	out, err = RunExperiment("table2")
+	out, err = RunExperiment(context.Background(), "table2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "30.9") {
 		t.Errorf("table2 output: %s", out)
 	}
-	if _, err := RunExperiment("figure99"); err == nil {
+	if _, err := RunExperiment(context.Background(), "figure99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	if got := len(ExperimentIDs()); got != 13 {
 		t.Errorf("ExperimentIDs = %d entries", got)
 	}
 	// The cheaper figure/ablation dispatch paths.
-	out, err = RunExperiment("figure7")
+	out, err = RunExperiment(context.Background(), "figure7")
 	if err != nil || !strings.Contains(out, "FP-PRIME") {
 		t.Errorf("figure7: %v / %q", err, out)
 	}
-	out, err = RunExperiment("ablation-transmission")
+	out, err = RunExperiment(context.Background(), "ablation-transmission")
 	if err != nil || !strings.Contains(out, "NBD fill") {
 		t.Errorf("ablation-transmission: %v", err)
 	}
-	out, err = RunExperiment("figure2")
+	out, err = RunExperiment(context.Background(), "figure2")
 	if err != nil || !strings.Contains(out, "communication gap") {
 		t.Errorf("figure2: %v", err)
 	}
@@ -384,7 +384,7 @@ func TestClassifyBatchMatchesSerial(t *testing.T) {
 // TestServingBenchRuns pins the serving-throughput artifact end to end
 // (small sample count to keep the suite fast).
 func TestServingBenchRuns(t *testing.T) {
-	r, err := ServingBench(ServingBenchOptions{Batch: 8, Workers: 2, Samples: 48, Mode: ModeReference})
+	r, err := ServingBench(context.Background(), ServingBenchOptions{Batch: 8, Workers: 2, Samples: 48, Mode: ModeReference})
 	if err != nil {
 		t.Fatal(err)
 	}

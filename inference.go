@@ -190,7 +190,7 @@ func (m ExecMode) synthMode() (synth.ExecMode, error) {
 	case ModeSpikingNoisy:
 		return synth.ModeSpikingNoisy, nil
 	}
-	return 0, fmt.Errorf("fpsa: unknown exec mode %d", m)
+	return 0, fmt.Errorf("%w: unknown exec mode %d", ErrInvalidArgument, m)
 }
 
 // Outputs returns the raw output spike counts.
@@ -269,7 +269,7 @@ func (t *TrainedMLP) VariationAccuracy(ds Dataset, method string, cells, trials 
 	case "add":
 		rep = device.NewAdd(spec, cells)
 	default:
-		return 0, fmt.Errorf("fpsa: unknown representation %q (want splice or add)", method)
+		return 0, fmt.Errorf("%w: unknown representation %q (want splice or add)", ErrInvalidArgument, method)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	res := trainer.VariationStudy(t.net, ds.internal(), rep, spec, rng, trials)

@@ -40,7 +40,7 @@ func routedFixture(t *testing.T, seed int64, blocks, nets, maxSignals int) (*net
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, _, err := place.Anneal(nl, chip, rng, place.Options{MovesPerTemp: 300})
+	pl, _, err := place.Anneal(context.Background(), nl, chip, rng, place.Options{MovesPerTemp: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,20 +101,15 @@ func New(maxEntries int) *Cache {
 	return &Cache{max: maxEntries, entries: make(map[Key]*entry), lru: list.New()}
 }
 
-// GetOrCompute returns the artifacts for k, invoking compute at most once
-// per key across concurrent callers. hit reports whether the artifacts
-// (or the in-flight computation it joined) already existed. A failed
-// compute is not cached; a later call retries.
-func (c *Cache) GetOrCompute(k Key, compute func() (*Artifacts, error)) (art *Artifacts, hit bool, err error) {
-	return c.GetOrComputeCtx(context.Background(), k, compute)
-}
-
-// GetOrComputeCtx is GetOrCompute with a caller-owned wait bound: a
-// caller that joins another caller's in-flight computation stops
-// waiting when its own ctx is done and returns ctx.Err() — the
-// computation itself keeps running under its owner, and its result is
-// cached for later callers as usual. The computing caller's compute
-// closure is responsible for honoring its own ctx.
+// GetOrComputeCtx returns the artifacts for k, invoking compute at most
+// once per key across concurrent callers. hit reports whether the
+// artifacts (or the in-flight computation it joined) already existed. A
+// failed compute is not cached; a later call retries. ctx bounds the
+// caller's wait: a caller that joins another caller's in-flight
+// computation stops waiting when its own ctx is done and returns
+// ctx.Err() — the computation itself keeps running under its owner, and
+// its result is cached for later callers as usual. The computing
+// caller's compute closure is responsible for honoring its own ctx.
 func (c *Cache) GetOrComputeCtx(ctx context.Context, k Key, compute func() (*Artifacts, error)) (art *Artifacts, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok {

@@ -44,7 +44,7 @@ func TestGetOrComputeSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			art, _, err := c.GetOrCompute(keyN(1), func() (*Artifacts, error) {
+			art, _, err := c.GetOrComputeCtx(context.Background(), keyN(1), func() (*Artifacts, error) {
 				builds.Add(1)
 				return &Artifacts{PlacementMoves: 42}, nil
 			})
@@ -73,13 +73,13 @@ func TestGetOrComputeSingleflight(t *testing.T) {
 func TestFailedComputeRetries(t *testing.T) {
 	c := New(8)
 	boom := errors.New("boom")
-	if _, _, err := c.GetOrCompute(keyN(2), func() (*Artifacts, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.GetOrComputeCtx(context.Background(), keyN(2), func() (*Artifacts, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("failed compute cached (len %d)", c.Len())
 	}
-	art, hit, err := c.GetOrCompute(keyN(2), func() (*Artifacts, error) { return &Artifacts{}, nil })
+	art, hit, err := c.GetOrComputeCtx(context.Background(), keyN(2), func() (*Artifacts, error) { return &Artifacts{}, nil })
 	if err != nil || hit || art == nil {
 		t.Errorf("retry: art=%v hit=%v err=%v", art, hit, err)
 	}
@@ -88,22 +88,22 @@ func TestFailedComputeRetries(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	c := New(3)
 	for i := 0; i < 3; i++ {
-		c.GetOrCompute(keyN(i), func() (*Artifacts, error) { return &Artifacts{PlacementMoves: i}, nil })
+		c.GetOrComputeCtx(context.Background(), keyN(i), func() (*Artifacts, error) { return &Artifacts{PlacementMoves: i}, nil })
 	}
 	// Touch key 0 so key 1 is the least recently used.
-	if _, hit, _ := c.GetOrCompute(keyN(0), nil); !hit {
+	if _, hit, _ := c.GetOrComputeCtx(context.Background(), keyN(0), nil); !hit {
 		t.Fatal("expected hit on key 0")
 	}
-	c.GetOrCompute(keyN(9), func() (*Artifacts, error) { return &Artifacts{}, nil })
+	c.GetOrComputeCtx(context.Background(), keyN(9), func() (*Artifacts, error) { return &Artifacts{}, nil })
 	if c.Len() != 3 {
 		t.Fatalf("len = %d, want 3", c.Len())
 	}
 	for _, n := range []int{0, 2, 9} {
-		if _, hit, _ := c.GetOrCompute(keyN(n), nil); !hit {
+		if _, hit, _ := c.GetOrComputeCtx(context.Background(), keyN(n), nil); !hit {
 			t.Errorf("key %d evicted, want kept", n)
 		}
 	}
-	if _, hit, _ := c.GetOrCompute(keyN(1), func() (*Artifacts, error) { return &Artifacts{}, nil }); hit {
+	if _, hit, _ := c.GetOrComputeCtx(context.Background(), keyN(1), func() (*Artifacts, error) { return &Artifacts{}, nil }); hit {
 		t.Error("LRU key 1 survived eviction")
 	}
 }
@@ -119,7 +119,7 @@ func TestEvictionSkipsInFlightEntries(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		c.GetOrCompute(keyN(1), func() (*Artifacts, error) {
+		c.GetOrComputeCtx(context.Background(), keyN(1), func() (*Artifacts, error) {
 			close(started)
 			<-release
 			builds.Add(1)
@@ -129,14 +129,14 @@ func TestEvictionSkipsInFlightEntries(t *testing.T) {
 	<-started
 	// Overflow the 1-entry cache while key 1 is in flight.
 	for n := 2; n < 5; n++ {
-		c.GetOrCompute(keyN(n), func() (*Artifacts, error) { return &Artifacts{}, nil })
+		c.GetOrComputeCtx(context.Background(), keyN(n), func() (*Artifacts, error) { return &Artifacts{}, nil })
 	}
 	// A second caller for key 1 must join the in-flight compute, not
 	// start a new one.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		art, hit, err := c.GetOrCompute(keyN(1), func() (*Artifacts, error) {
+		art, hit, err := c.GetOrComputeCtx(context.Background(), keyN(1), func() (*Artifacts, error) {
 			builds.Add(1)
 			return &Artifacts{PlacementMoves: 99}, nil
 		})
@@ -159,7 +159,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				art, _, err := c.GetOrCompute(keyN(i), func() (*Artifacts, error) {
+				art, _, err := c.GetOrComputeCtx(context.Background(), keyN(i), func() (*Artifacts, error) {
 					return &Artifacts{PlacementMoves: i}, nil
 				})
 				if err != nil {
@@ -219,7 +219,7 @@ func TestJoinerWaitBoundedByContext(t *testing.T) {
 	ownerDone := make(chan struct{})
 	go func() {
 		defer close(ownerDone)
-		art, hit, err := c.GetOrCompute(key, func() (*Artifacts, error) {
+		art, hit, err := c.GetOrComputeCtx(context.Background(), key, func() (*Artifacts, error) {
 			close(started)
 			<-release
 			return &Artifacts{}, nil

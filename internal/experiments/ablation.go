@@ -135,8 +135,9 @@ type ChannelWidthResult struct {
 }
 
 // AblationChannelWidth places LeNet's netlist once, then routes it at
-// shrinking channel widths until routing fails.
-func AblationChannelWidth(widths []int) (ChannelWidthResult, error) {
+// shrinking channel widths until routing fails. ctx bounds the
+// place-and-route work; cancellation returns ctx.Err().
+func AblationChannelWidth(ctx context.Context, widths []int) (ChannelWidthResult, error) {
 	if len(widths) == 0 {
 		widths = []int{2048, 1024, 768, 512, 384, 256, 128}
 	}
@@ -162,14 +163,14 @@ func AblationChannelWidth(widths []int) (ChannelWidthResult, error) {
 	if err != nil {
 		return ChannelWidthResult{}, err
 	}
-	pl, _, err := place.Anneal(nl, chip, rng, place.Options{MovesPerTemp: 2000})
+	pl, _, err := place.Anneal(ctx, nl, chip, rng, place.Options{MovesPerTemp: 2000})
 	if err != nil {
 		return ChannelWidthResult{}, err
 	}
 	for _, w := range widths {
 		c := chip
 		c.Tracks = w
-		r, err := route.Route(context.Background(), nl, pl, c, route.Options{})
+		r, err := route.Route(ctx, nl, pl, c, route.Options{})
 		if err != nil {
 			return ChannelWidthResult{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -35,7 +36,7 @@ func TestAblationTransmissionTradeoffs(t *testing.T) {
 }
 
 func TestAblationChannelWidth(t *testing.T) {
-	r, err := AblationChannelWidth([]int{2048, 1024, 256})
+	r, err := AblationChannelWidth(context.Background(), []int{2048, 1024, 256})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,8 +89,13 @@ func BuildNetlist(g *coreop.Graph, a Allocation, params device.Params, bufferedE
 			for c := 0; c < pairs; c++ {
 				sinksOf[c%du] = append(sinksOf[c%du], peIDs[vi][c%dv])
 			}
-			for c, sinks := range sinksOf {
-				nl.AddNet(peIDs[ui][c], dedupe(sinks), signals)
+			// Emit nets in copy order, not map order: net order feeds
+			// the netlist fingerprint and the place/route trajectory,
+			// which must be bit-identical run to run.
+			for c := 0; c < du; c++ {
+				if sinks, ok := sinksOf[c]; ok {
+					nl.AddNet(peIDs[ui][c], dedupe(sinks), signals)
+				}
 			}
 		}
 	}

@@ -160,7 +160,7 @@ func ScheduleOps(og *OpGraph, a Allocation, gamma int) (*Schedule, error) {
 // BufferedGroupEdges lifts op-level buffer decisions to group pairs.
 func (s *Schedule) BufferedGroupEdges(og *OpGraph) map[Edge]bool {
 	out := make(map[Edge]bool)
-	for e := range s.Buffered {
+	for e := range s.Buffered { //fpsa:nondet builds a set; order-free
 		out[Edge{From: og.Ops[e.From].Group, To: og.Ops[e.To].Group}] = true
 	}
 	return out
@@ -180,6 +180,7 @@ func (s *Schedule) Validate(og *OpGraph, a Allocation, gamma int) error {
 	for _, op := range og.Ops {
 		byPE[s.PE[op.ID]] = append(byPE[s.PE[op.ID]], op.ID)
 	}
+	//fpsa:nondet validator verdict is order-free; only which violation reports first varies
 	for pe, ops := range byPE {
 		sort.Slice(ops, func(i, j int) bool { return s.Start[ops[i]] < s.Start[ops[j]] })
 		for i := 1; i < len(ops); i++ {
@@ -204,11 +205,12 @@ func (s *Schedule) Validate(og *OpGraph, a Allocation, gamma int) error {
 	}
 	// BC: buffered readers of one producer end ≥ Γ apart pairwise.
 	readers := make(map[int][]int)
-	for e, buf := range s.Buffered {
+	for e, buf := range s.Buffered { //fpsa:nondet groups into a map, sorted before use
 		if buf {
 			readers[e.From] = append(readers[e.From], e.To)
 		}
 	}
+	//fpsa:nondet validator verdict is order-free; only which violation reports first varies
 	for u, rs := range readers {
 		sort.Slice(rs, func(i, j int) bool { return s.End[rs[i]] < s.End[rs[j]] })
 		for i := 1; i < len(rs); i++ {

@@ -146,13 +146,18 @@ type Stats struct {
 }
 
 // Anneal improves a random placement with simulated annealing and returns
-// it with run statistics.
-func Anneal(nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options) (*Placement, Stats, error) {
+// it with run statistics. ctx bounds the run: cancellation stops at the
+// next temperature step and returns ctx.Err(). An uncancelled run is
+// bit-identical for any ctx.
+func Anneal(ctx context.Context, nl *netlist.Netlist, chip fabric.Chip, rng *rand.Rand, opts Options) (*Placement, Stats, error) {
 	a, err := newAnnealer(nl, chip, rng, opts)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	a.run(context.Background(), -1)
+	a.run(ctx, -1)
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	p, stats := a.finish()
 	return p, stats, nil
 }

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestAnnealImprovesCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
-	p, stats, err := Anneal(nl, chip, rng, Options{MovesPerTemp: 400})
+	p, stats, err := Anneal(context.Background(), nl, chip, rng, Options{MovesPerTemp: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAnnealCostMatchesRecomputation(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(9))
-	p, stats, err := Anneal(nl, chip, rng, Options{MovesPerTemp: 100})
+	p, stats, err := Anneal(context.Background(), nl, chip, rng, Options{MovesPerTemp: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestAnnealSingleBlockNoop(t *testing.T) {
 	nl := &netlist.Netlist{}
 	nl.AddBlock(netlist.BlockPE, "solo", 0, 0)
 	chip := fabric.Chip{W: 2, H: 2, Tracks: 4, Params: device.Params45nm}
-	p, _, err := Anneal(nl, chip, rand.New(rand.NewSource(1)), Options{})
+	p, _, err := Anneal(context.Background(), nl, chip, rand.New(rand.NewSource(1)), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

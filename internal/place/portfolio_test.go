@@ -17,7 +17,7 @@ func TestPortfolioOfOneMatchesAnneal(t *testing.T) {
 		t.Fatal(err)
 	}
 	const seed = 11
-	want, wantStats, err := Anneal(nl, chip, rand.New(rand.NewSource(seed)), Options{MovesPerTemp: 200})
+	want, wantStats, err := Anneal(context.Background(), nl, chip, rand.New(rand.NewSource(seed)), Options{MovesPerTemp: 200})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,7 +146,7 @@ func TestRouteAnnealedLeNetClassNetlist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, _, err := place.Anneal(nl, chip, rng, place.Options{MovesPerTemp: 500})
+	p, _, err := place.Anneal(context.Background(), nl, chip, rng, place.Options{MovesPerTemp: 500})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func (p *Program) PartitionStages(maxChips int, policy shard.Policy) (*shard.Pla
 
 	// A cut between stages c-1 and c is illegal while any group spans it.
 	illegal := make([]bool, n+1)
-	for gid, first := range firstUse {
+	for gid, first := range firstUse { //fpsa:nondet OR-accumulates a bool mask; order-free
 		for c := first + 1; c <= lastUse[gid]; c++ {
 			illegal[c] = true
 		}
@@ -89,11 +89,11 @@ func (p *Program) PartitionStages(maxChips int, policy shard.Policy) (*shard.Pla
 	// vary (map iteration): the partitioner only ever sums widths per
 	// cut, so the plan stays deterministic.
 	width := make(map[[2]int]int, len(last))
-	for s, l := range last {
+	for s, l := range last { //fpsa:nondet counts into a map; order-free
 		width[[2]int{s.stage, l}]++
 	}
 	signals := make([]shard.Signal, 0, len(width))
-	for k, w := range width {
+	for k, w := range width { //fpsa:nondet the partitioner only sums widths per cut
 		signals = append(signals, shard.Signal{Prod: k[0], Last: k[1], Width: w})
 	}
 

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"sort"
 
 	"fpsa/internal/cgraph"
 	"fpsa/internal/coreop"
@@ -140,11 +141,14 @@ func (s *synthesizer) lowerMaxPoolExact(n *cgraph.Node, op cgraph.Pool) error {
 }
 
 // pairwiseIDs lists the shared pairwise groups (produced bookkeeping).
+// Sorted: the list flows through depsOf into group dependency order and
+// from there into the netlist fingerprint, so map order must not leak.
 func (s *synthesizer) pairwiseIDs() []int {
 	var ids []int
-	for _, g := range s.pairwise {
+	for _, g := range s.pairwise { //fpsa:nondet sorted below; set semantics
 		ids = append(ids, g.diff, g.comb)
 	}
+	sort.Ints(ids)
 	return ids
 }
 
@@ -236,11 +240,15 @@ func (s *synthesizer) lowerAvgPoolExact(n *cgraph.Node, kernel, stride, pad, out
 	return nil
 }
 
+// avgIDs lists the shared average-pool groups (produced bookkeeping).
+// Sorted for the same reason as pairwiseIDs: dependency order feeds the
+// netlist fingerprint.
 func avgIDs(s *synthesizer) []int {
 	var ids []int
-	for _, gid := range s.avgGroups {
+	for _, gid := range s.avgGroups { //fpsa:nondet sorted below; set semantics
 		ids = append(ids, gid)
 	}
+	sort.Ints(ids)
 	return ids
 }
 

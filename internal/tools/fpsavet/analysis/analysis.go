@@ -1,0 +1,162 @@
+// Package analysis is a small, dependency-free core for the fpsavet lint
+// suite, mirroring the shape of golang.org/x/tools/go/analysis: an
+// Analyzer inspects one type-checked package through a Pass and reports
+// Diagnostics. The container this repo builds in has no module proxy, so
+// the x/tools framework cannot be vendored; everything here is built on
+// the standard library's go/ast, go/parser and go/types, with package
+// metadata and compiled export data supplied by `go list -export` (see
+// load.go). The surface is intentionally the subset fpsavet needs —
+// porting the analyzers to the real framework later is a rename, not a
+// rewrite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is the one-paragraph description shown by fpsavet -help.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	// Returning an error aborts the whole fpsavet run (reserved for
+	// broken inputs, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	analyzer   *Analyzer
+	diags      *[]Diagnostic
+	directives map[string][]Directive // file name → sorted by line
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Directive is a //fpsa:<name> <argument> comment, the audited escape
+// hatch of the suite (e.g. //fpsa:nondet seeding only, order-insensitive).
+type Directive struct {
+	Name string // "nondet"
+	Arg  string // the free-text reason, "" when omitted
+	Line int
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive returns the //fpsa:<name> directive governing pos: one on the
+// same line or on the line directly above. The bool reports whether such
+// a directive exists; the string is its free-text argument.
+func (p *Pass) Directive(name string, pos token.Pos) (string, bool) {
+	position := p.Fset.Position(pos)
+	for _, d := range p.directives[position.Filename] {
+		if d.Name == name && (d.Line == position.Line || d.Line == position.Line-1) {
+			return d.Arg, true
+		}
+	}
+	return "", false
+}
+
+// TypeOf is shorthand for the package's types.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// scanDirectives indexes every //fpsa: comment in the package by file and
+// line so Directive lookups are cheap.
+func scanDirectives(fset *token.FileSet, files []*ast.File) map[string][]Directive {
+	out := make(map[string][]Directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//fpsa:")
+				if !ok {
+					continue
+				}
+				name, arg, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename], Directive{
+					Name: name,
+					Arg:  strings.TrimSpace(arg),
+					Line: pos.Line,
+				})
+			}
+		}
+	}
+	for _, ds := range out {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Line < ds[j].Line })
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to pkg and returns the findings
+// sorted by position. An analyzer error aborts the run.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	directives := scanDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			analyzer:   a,
+			diags:      &diags,
+			directives: directives,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// IsNamed reports whether obj is the named package-level object pkgPath.name
+// — the standard way the analyzers recognize context.Background,
+// fmt.Errorf, time.Now and friends through go/types rather than by text.
+func IsNamed(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is the suite's analysistest: it loads the GOPATH-style golden
+// tree under dataDir (dataDir/src/<import path>/*.go), runs the analyzer
+// over each of the named packages, and asserts that the reported
+// diagnostics exactly match the `// want "regexp"` comments in those
+// packages' files — every finding must be wanted, every want must fire.
+// Imports resolve first against the golden tree itself (so a fake `fpsa`
+// root package can stand in for the real one), then against the standard
+// library via build-cache export data, keeping the harness offline.
+func RunTest(t *testing.T, dataDir string, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newTestLoader(t, dataDir)
+	for _, path := range pkgPaths {
+		pkg := l.load(path)
+		diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// testLoader type-checks golden packages with memoization.
+type testLoader struct {
+	t       *testing.T
+	src     string // dataDir/src
+	fset    *token.FileSet
+	memo    map[string]*Package
+	stdlib  types.Importer
+	loading map[string]bool
+}
+
+func newTestLoader(t *testing.T, dataDir string) *testLoader {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := &testLoader{
+		t:       t,
+		src:     filepath.Join(dataDir, "src"),
+		fset:    fset,
+		memo:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.stdlib = exportImporter(fset, stdlibExports(t, l.externalImports()))
+	return l
+}
+
+// externalImports walks the whole golden tree and returns every import
+// path that does not resolve inside it — the standard-library closure the
+// harness must supply export data for.
+func (l *testLoader) externalImports() []string {
+	l.t.Helper()
+	seen := make(map[string]bool)
+	var external []string
+	err := filepath.WalkDir(l.src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if _, err := os.Stat(filepath.Join(l.src, p)); err != nil {
+				external = append(external, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		l.t.Fatalf("scanning golden tree: %v", err)
+	}
+	return external
+}
+
+// load type-checks the golden package at path (and, recursively, its
+// golden dependencies).
+func (l *testLoader) load(path string) *Package {
+	l.t.Helper()
+	if pkg, ok := l.memo[path]; ok {
+		return pkg
+	}
+	if l.loading[path] {
+		l.t.Fatalf("golden import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.src, path)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		l.t.Fatalf("no golden files under %s", dir)
+	}
+	var names []string
+	for _, m := range matches {
+		names = append(names, filepath.Base(m))
+	}
+	pkg, err := typecheck(l.fset, path, dir, names, importerFunc(func(p string) (*types.Package, error) {
+		if _, statErr := os.Stat(filepath.Join(l.src, p)); statErr == nil {
+			return l.load(p).Types, nil
+		}
+		return l.stdlib.Import(p)
+	}))
+	if err != nil {
+		l.t.Fatalf("golden package %s: %v", path, err)
+	}
+	l.memo[path] = pkg
+	return pkg
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdlibExports resolves export-data files for the named standard-library
+// packages and their dependency closure through the go command's build
+// cache — no network, no GOPATH.
+func stdlibExports(t *testing.T, paths []string) map[string]string {
+	t.Helper()
+	exports := make(map[string]string)
+	if len(paths) == 0 {
+		return exports
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list %v: %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+// wantRe matches one quoted or backquoted expectation after `// want`.
+var wantRe = regexp.MustCompile("^(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+// checkWants compares diagnostics against the `// want` annotations in
+// the package's files.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{file: pos.Filename, line: pos.Line}
+				rest = strings.TrimSpace(rest)
+				for rest != "" {
+					m := wantRe.FindStringSubmatch(rest)
+					if m == nil {
+						break
+					}
+					rest = strings.TrimSpace(rest[len(m[0]):])
+					text := m[1]
+					var pattern string
+					if text[0] == '`' {
+						pattern = strings.Trim(text, "`")
+					} else {
+						var err error
+						pattern, err = strconv.Unquote(text)
+						if err != nil {
+							t.Fatalf("%s: bad want expectation %s: %v", pos, text, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{file: d.Pos.Filename, line: d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(d.Pos), d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

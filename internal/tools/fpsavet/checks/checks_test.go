@@ -1,0 +1,30 @@
+package checks_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fpsa/internal/tools/fpsavet/analysis"
+	"fpsa/internal/tools/fpsavet/checks"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysis.RunTest(t, "testdata/determinism", checks.Determinism,
+		"fpsa/internal/synth", "fpsa/internal/other")
+}
+
+func TestCtxflow(t *testing.T) {
+	analysis.RunTest(t, "testdata/ctxflow", checks.Ctxflow,
+		"fpsa/internal/lib", "fpsa/cmd/tool")
+}
+
+func TestErrwrap(t *testing.T) {
+	analysis.RunTest(t, "testdata/errwrap", checks.Errwrap,
+		"fpsa", "fpsa/internal/lib")
+}
+
+func TestDeprecation(t *testing.T) {
+	rootDir := filepath.Join("testdata", "deprecation", "src", "fpsa")
+	analysis.RunTest(t, "testdata/deprecation", checks.Deprecation(rootDir, checks.RootPath),
+		"fpsa/cmd/tool", "fpsa/examples/demo", "fpsa/internal/lib")
+}

@@ -1,0 +1,130 @@
+package checks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"fpsa/internal/tools/fpsavet/analysis"
+)
+
+// Deprecation is the docscheck deprecation pass, migrated into the suite
+// and made type-aware: the in-repo consumers under cmd/ and examples/
+// must not use any exported symbol the root package marks
+// "// Deprecated:", so the compatibility wrappers can eventually be
+// deleted. Where docscheck matched method calls by bare name (untyped,
+// fail-closed), this analyzer resolves every use through go/types, so an
+// unrelated type's same-named method can no longer trip it.
+//
+// rootDir is the directory holding the root package's sources (scanned
+// for the Deprecated: markers); rootPath is its import path.
+func Deprecation(rootDir, rootPath string) *analysis.Analyzer {
+	var (
+		once       sync.Once
+		pkgSyms    map[string]bool
+		methodSyms map[string]bool
+		scanErr    error
+	)
+	return &analysis.Analyzer{
+		Name: "deprecation",
+		Doc: "flags uses of the root package's Deprecated: symbols under " +
+			"cmd/ and examples/ — in-repo consumers stay on the current API",
+		Run: func(pass *analysis.Pass) error {
+			path := pass.Pkg.Path()
+			if !underPath(path, rootPath+"/cmd") && !underPath(path, rootPath+"/examples") {
+				return nil
+			}
+			once.Do(func() {
+				pkgSyms, methodSyms, scanErr = deprecatedSymbols(rootDir)
+			})
+			if scanErr != nil {
+				return scanErr
+			}
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj := pass.TypesInfo.Uses[sel.Sel]
+					if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != rootPath {
+						return true
+					}
+					if fn, ok := obj.(*types.Func); ok {
+						if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+							if methodSyms[fn.Name()] {
+								pass.Report(sel.Pos(), "use of deprecated method %s.%s; migrate to the current API (see docs/API.md)",
+									sig.Recv().Type(), fn.Name())
+							}
+							return true
+						}
+					}
+					if pkgSyms[obj.Name()] {
+						pass.Report(sel.Pos(), "use of deprecated %s.%s; migrate to the current API (see docs/API.md)",
+							rootPath, obj.Name())
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// deprecatedSymbols parses the root package and returns its exported
+// package-level and method names whose doc comment carries a
+// "Deprecated:" marker.
+func deprecatedSymbols(rootDir string) (pkgSyms, methodSyms map[string]bool, err error) {
+	files, err := filepath.Glob(filepath.Join(rootDir, "*.go"))
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgSyms = make(map[string]bool)
+	methodSyms = make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parsing root package: %w", err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !isDeprecated(d.Doc) || !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					methodSyms[d.Name.Name] = true
+				} else {
+					pkgSyms[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if (isDeprecated(d.Doc) || isDeprecated(s.Doc)) && s.Name.IsExported() {
+							pkgSyms[s.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						if isDeprecated(d.Doc) || isDeprecated(s.Doc) {
+							for _, n := range s.Names {
+								if n.IsExported() {
+									pkgSyms[n.Name] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pkgSyms, methodSyms, nil
+}

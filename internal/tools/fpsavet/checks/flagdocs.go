@@ -1,0 +1,94 @@
+package checks
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// flagDecl matches flag declarations like flag.String("model", …),
+// flag.IntVar(&v, "model", …) and flag.Duration("flush", …). The first
+// quoted argument is the flag name.
+var flagDecl = regexp.MustCompile(`flag\.[A-Za-z]+\((?:&[A-Za-z0-9_.]+,\s*)?"([^"]+)"`)
+
+// flagRow matches a flag-table row: | `-name` | meaning |.
+var flagRow = regexp.MustCompile("^\\|\\s*`-([^`]+)`\\s*\\|")
+
+// CheckFlagDocs is docscheck's flag-table pass, migrated into the suite:
+// every CLI flag declared by a binary under cmd/ must have a row in the
+// README's flag tables, attributed to that binary (the table documents
+// the binary named most recently above it). It returns one message per
+// undocumented flag; a broken precondition (no binaries, no rows — the
+// vacuous-pass cases) is an error.
+func CheckFlagDocs(repoRoot string) ([]string, error) {
+	cmdDir := filepath.Join(repoRoot, "cmd")
+	readmePath := filepath.Join(repoRoot, "README.md")
+	mains, err := filepath.Glob(filepath.Join(cmdDir, "*", "main.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(mains) == 0 {
+		return nil, fmt.Errorf("no binaries found under %s", cmdDir)
+	}
+	sort.Strings(mains)
+	binaries := make([]string, len(mains))
+	for i, path := range mains {
+		binaries[i] = filepath.Base(filepath.Dir(path))
+	}
+
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		return nil, err
+	}
+	// Attribute each flag row to the binary named most recently before
+	// it: prose like "go run ./cmd/fpsa-serve …" or a "## fpsa-bench"
+	// heading switches the current binary, and its flag table follows.
+	documented := make(map[string]map[string]bool, len(binaries))
+	for _, b := range binaries {
+		documented[b] = make(map[string]bool)
+	}
+	current := ""
+	rows := 0
+	for _, line := range strings.Split(string(readme), "\n") {
+		if m := flagRow.FindStringSubmatch(line); m != nil {
+			rows++
+			if current != "" {
+				documented[current][m[1]] = true
+			}
+			continue
+		}
+		for _, b := range binaries {
+			if idx := strings.LastIndex(line, b); idx >= 0 {
+				if current == "" || idx >= strings.LastIndex(line, current) {
+					current = b
+				}
+			}
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("%s contains no flag-table rows (| `-flag` | …); refusing to pass vacuously", readmePath)
+	}
+
+	var problems []string
+	total := 0
+	for i, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagDecl.FindAllStringSubmatch(string(src), -1) {
+			total++
+			if !documented[binaries[i]][m[1]] {
+				problems = append(problems,
+					fmt.Sprintf("%s: flag -%s of %s has no row in README.md's flag tables", path, m[1], binaries[i]))
+			}
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("no flag declarations found under %s; the matcher may be stale", cmdDir)
+	}
+	return problems, nil
+}

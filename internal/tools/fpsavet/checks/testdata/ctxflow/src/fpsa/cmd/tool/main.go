@@ -1,0 +1,15 @@
+// Command tool is golden input: an entry point may synthesize its root
+// context, but a function already holding one must still pass it on.
+package main
+
+import "context"
+
+func use(ctx context.Context) {}
+
+func main() {
+	use(context.Background())
+}
+
+func helper(ctx context.Context) {
+	use(context.Background()) // want `function already receives a context.Context`
+}

@@ -1,0 +1,22 @@
+// Command tool is golden input: an in-repo consumer that must stay off
+// the deprecated API.
+package main
+
+import "fpsa"
+
+type local struct{}
+
+// OldRun shares its name with the deprecated method but belongs to an
+// unrelated type; the typed matcher must not flag it.
+func (local) OldRun() {}
+
+func main() {
+	fpsa.Old() // want `use of deprecated fpsa\.Old`
+	fpsa.New()
+	var r fpsa.Runner
+	r.OldRun() // want `use of deprecated method fpsa\.Runner\.OldRun`
+	r.Run()
+	_ = fpsa.OldMode // want `use of deprecated fpsa\.OldMode`
+	_ = fpsa.ModeCurrent
+	local{}.OldRun()
+}

@@ -1,0 +1,9 @@
+// Command demo is golden input: examples are held to the same
+// no-deprecated-API rule as commands.
+package main
+
+import "fpsa"
+
+func main() {
+	fpsa.Old() // want `use of deprecated fpsa\.Old`
+}

@@ -1,0 +1,24 @@
+// Package fpsa is golden input standing in for the root package: its
+// Deprecated: symbols must not be used from cmd/ or examples/.
+package fpsa
+
+// Deprecated: use New.
+func Old() {}
+
+// New is the current constructor.
+func New() {}
+
+// Runner is current API with one deprecated method.
+type Runner struct{}
+
+// Deprecated: use Run.
+func (Runner) OldRun() {}
+
+// Run is the current method.
+func (Runner) Run() {}
+
+// Deprecated: use ModeCurrent.
+var OldMode = 0
+
+// ModeCurrent is the current mode.
+var ModeCurrent = 1

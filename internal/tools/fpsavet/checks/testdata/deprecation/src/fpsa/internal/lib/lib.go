@@ -1,0 +1,9 @@
+// Package lib is golden input: library code is outside the deprecation
+// guard — the compatibility wrappers exist for callers like this.
+package lib
+
+import "fpsa"
+
+func bridge() {
+	fpsa.Old()
+}

@@ -1,0 +1,12 @@
+// Package other is golden input: not a bit-exact package, so map order
+// and wall-clock reads are unchecked here.
+package other
+
+import "time"
+
+func unguarded(m map[int]int) time.Time {
+	for range m {
+		break
+	}
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Package lib is golden input: the no-%v-over-errors rule applies
+// everywhere, but sentinel-free errors are fine below the public
+// boundary.
+package lib
+
+import (
+	"errors"
+	"fmt"
+)
+
+func flattened(err error) error {
+	return fmt.Errorf("route: %v", err) // want `fmt.Errorf formats an error argument without %w`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("route: %w", err)
+}
+
+func plain(n int) error {
+	return fmt.Errorf("route: %d tracks over capacity", n)
+}
+
+func minted() error {
+	return errors.New("internal sentinel")
+}

@@ -82,9 +82,9 @@ func (r ServingBenchResult) String() string {
 // ServingBench trains and deploys the standard MLP serving workload and
 // measures the three serving paths. It is the measured counterpart of the
 // paper's throughput story (§6): batching is where crossbar throughput
-// comes from, and the engine stacks worker parallelism on top.
-func ServingBench(opts ServingBenchOptions) (ServingBenchResult, error) {
-	ctx := context.Background()
+// comes from, and the engine stacks worker parallelism on top. ctx
+// bounds the compile and the engine's serving run.
+func ServingBench(ctx context.Context, opts ServingBenchOptions) (ServingBenchResult, error) {
 	opts = opts.withDefaults()
 	res := ServingBenchResult{Options: opts}
 	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
@@ -167,8 +167,8 @@ func rate(n int, d time.Duration) float64 {
 // RunServingExperiment renders the serving-throughput artifact; batch ≤ 0
 // uses the default micro-batch size. It backs fpsa-bench's "serving"
 // experiment and its -batch flag.
-func RunServingExperiment(batch int) (string, error) {
-	r, err := ServingBench(ServingBenchOptions{Batch: batch, Mode: ModeSpiking})
+func RunServingExperiment(ctx context.Context, batch int) (string, error) {
+	r, err := ServingBench(ctx, ServingBenchOptions{Batch: batch, Mode: ModeSpiking})
 	if err != nil {
 		return "", err
 	}

@@ -115,8 +115,8 @@ func (r ShardingBenchResult) String() string {
 // cut the stage list across pipelined chips (balanced partition) with
 // concurrent feeders keeping every chip busy. Outputs are bit-identical
 // across rows (property-tested in internal/synth); what changes is where
-// the wall-clock goes, which is the experiment.
-func ShardingBench(opts ShardingBenchOptions) (ShardingBenchResult, error) {
+// the wall-clock goes, which is the experiment. ctx bounds the compile.
+func ShardingBench(ctx context.Context, opts ShardingBenchOptions) (ShardingBenchResult, error) {
 	opts = opts.withDefaults()
 	res := ShardingBenchResult{Options: opts}
 	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
@@ -125,7 +125,7 @@ func ShardingBench(opts ShardingBenchOptions) (ShardingBenchResult, error) {
 	if err != nil {
 		return res, err
 	}
-	d, err := Compile(context.Background(), net.Model(), WithWeightSource(net.WeightSource()))
+	d, err := Compile(ctx, net.Model(), WithWeightSource(net.WeightSource()))
 	if err != nil {
 		return res, err
 	}
@@ -244,8 +244,8 @@ func ShardingBench(opts ShardingBenchOptions) (ShardingBenchResult, error) {
 // RunShardingExperiment renders the multi-chip serving artifact; batch
 // ≤ 0 uses the default micro-batch size. It backs fpsa-bench's
 // "sharding" experiment and its -batch flag.
-func RunShardingExperiment(batch int) (string, error) {
-	r, err := ShardingBench(ShardingBenchOptions{Batch: batch, Mode: ModeSpiking})
+func RunShardingExperiment(ctx context.Context, batch int) (string, error) {
+	r, err := ShardingBench(ctx, ShardingBenchOptions{Batch: batch, Mode: ModeSpiking})
 	if err != nil {
 		return "", err
 	}

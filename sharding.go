@@ -50,7 +50,7 @@ func ParseShardPolicy(name string) (ShardPolicy, error) {
 	case "balanced":
 		return ShardBalanced, nil
 	}
-	return 0, fmt.Errorf("fpsa: unknown shard policy %q (want auto, mincut, or balanced)", name)
+	return 0, fmt.Errorf("%w: unknown shard policy %q (want auto, mincut, or balanced)", ErrInvalidArgument, name)
 }
 
 // compilePolicy maps the public policy onto the partitioner's for the
@@ -62,7 +62,7 @@ func (p ShardPolicy) compilePolicy() (shard.Policy, error) {
 	case ShardBalanced:
 		return shard.PolicyBalanced, nil
 	}
-	return 0, fmt.Errorf("fpsa: unknown shard policy %d", int(p))
+	return 0, fmt.Errorf("%w: unknown shard policy %d", ErrInvalidArgument, int(p))
 }
 
 // servePolicy maps the public policy onto the serving engine's

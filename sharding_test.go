@@ -275,7 +275,7 @@ func TestShardedEngineServes(t *testing.T) {
 // TestShardingBench: the experiment runs end to end at small scale and
 // reports one row per chip count with consistent stage splits.
 func TestShardingBench(t *testing.T) {
-	r, err := ShardingBench(ShardingBenchOptions{Samples: 48, Batch: 8, ChipCounts: []int{1, 2}})
+	r, err := ShardingBench(context.Background(), ShardingBenchOptions{Samples: 48, Batch: 8, ChipCounts: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
