@@ -3,15 +3,17 @@ package fpsa
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"runtime"
 )
 
 // BenchReport bundles the measured serving artifacts — the single-chip
-// serving-throughput benchmark and the multi-chip sharded-pipeline sweep
-// — in one machine-readable record, together with the host parallelism
-// that shaped the numbers (pipeline speedup needs GOMAXPROCS ≥ chips).
-// fpsa-bench -json emits it; committed snapshots (BENCH_PR*.json) track
-// the numbers across changes.
+// serving-throughput benchmark, the multi-chip sharded-pipeline sweep,
+// and the sparse-kernel density sweep — in one machine-readable record,
+// together with the host parallelism that shaped the numbers (pipeline
+// speedup needs GOMAXPROCS ≥ chips). fpsa-bench -json emits it;
+// committed snapshots (BENCH_PR*.json) track the numbers across changes,
+// and fpsa-bench -baseline compares a fresh run against one.
 type BenchReport struct {
 	// GoMaxProcs and NumCPU record the parallelism available to the
 	// run; a 1-core host cannot show pipeline speedup.
@@ -19,6 +21,7 @@ type BenchReport struct {
 	NumCPU     int
 	Serving    ServingBenchResult
 	Sharding   ShardingBenchResult
+	Sparsity   SparsityBenchResult
 }
 
 // JSON renders the report as indented JSON with a trailing newline.
@@ -30,16 +33,64 @@ func (r BenchReport) JSON() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// RunBenchReport runs both measured serving experiments at the given
-// micro-batch size (≤ 0 uses the default) and returns the combined
-// report. It backs fpsa-bench's -json flag; ctx bounds both runs.
-func RunBenchReport(ctx context.Context, batch int) (BenchReport, error) {
+// RunBenchReport runs the measured serving experiments at the given
+// micro-batch size and sample count (≤ 0 uses each experiment's default)
+// and returns the combined report. It backs fpsa-bench's -json flag; ctx
+// bounds the runs. Small sample counts make the run cheap enough for CI
+// at the cost of noisier numbers — pair them with a loose -regress
+// tolerance.
+func RunBenchReport(ctx context.Context, batch, samples int) (BenchReport, error) {
 	rep := BenchReport{GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	var err error
-	rep.Serving, err = ServingBench(ctx, ServingBenchOptions{Batch: batch, Mode: ModeSpiking})
+	rep.Serving, err = ServingBench(ctx, ServingBenchOptions{Batch: batch, Samples: samples, Mode: ModeSpiking})
 	if err != nil {
 		return rep, err
 	}
-	rep.Sharding, err = ShardingBench(ctx, ShardingBenchOptions{Batch: batch, Mode: ModeSpiking})
+	rep.Sharding, err = ShardingBench(ctx, ShardingBenchOptions{Batch: batch, Samples: samples, Mode: ModeSpiking})
+	if err != nil {
+		return rep, err
+	}
+	rep.Sparsity, err = SparsityBench(ctx, SparsityBenchOptions{Batch: batch, Samples: samples})
 	return rep, err
+}
+
+// CompareBenchReports checks cur's serving throughput against a baseline
+// report and returns one message per metric that regressed by more than
+// tol (e.g. 0.10 = fail below 90% of baseline). Baseline metrics that
+// are zero or absent — an older snapshot without a newer experiment —
+// are skipped, so reports stay comparable across schema growth. Only
+// throughput regresses a report; speedup ratios shift with host load and
+// are informational.
+func CompareBenchReports(baseline, cur BenchReport, tol float64) []string {
+	var regressions []string
+	check := func(name string, base, now float64) {
+		if base <= 0 {
+			return
+		}
+		if now < base*(1-tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed: %.1f -> %.1f samples/s (%.1f%% below baseline, tolerance %.0f%%)",
+					name, base, now, 100*(1-now/base), 100*tol))
+		}
+	}
+	check("serving serial", baseline.Serving.SerialSPS, cur.Serving.SerialSPS)
+	check("serving batched", baseline.Serving.BatchedSPS, cur.Serving.BatchedSPS)
+	check("serving engine", baseline.Serving.EngineSPS, cur.Serving.EngineSPS)
+	for _, base := range baseline.Sharding.Rows {
+		for _, now := range cur.Sharding.Rows {
+			if now.RealChips == base.RealChips {
+				check(fmt.Sprintf("sharding %d-chip", base.RealChips), base.ThroughputSPS, now.ThroughputSPS)
+				break
+			}
+		}
+	}
+	for _, base := range baseline.Sparsity.Rows {
+		for _, now := range cur.Sparsity.Rows {
+			if now.TargetDensity == base.TargetDensity {
+				check(fmt.Sprintf("sparsity d=%.2f sparse", base.TargetDensity), base.SparseSPS, now.SparseSPS)
+				break
+			}
+		}
+	}
+	return regressions
 }

@@ -1,0 +1,82 @@
+package fpsa
+
+import (
+	"strings"
+	"testing"
+)
+
+// compareFixture builds a baseline report with every throughput metric
+// the comparator looks at populated.
+func compareFixture() BenchReport {
+	return BenchReport{
+		Serving: ServingBenchResult{SerialSPS: 1000, BatchedSPS: 2000, EngineSPS: 1800},
+		Sharding: ShardingBenchResult{Rows: []ShardingBenchRow{
+			{RealChips: 1, ThroughputSPS: 1500},
+			{RealChips: 2, ThroughputSPS: 2600},
+		}},
+		Sparsity: SparsityBenchResult{Rows: []SparsityBenchRow{
+			{TargetDensity: 0.05, SparseSPS: 5000},
+			{TargetDensity: 1.0, SparseSPS: 1200},
+		}},
+	}
+}
+
+// TestCompareBenchReportsClean: a fresh run at or above baseline — and
+// within tolerance below it — produces no regressions.
+func TestCompareBenchReportsClean(t *testing.T) {
+	base := compareFixture()
+	cur := compareFixture()
+	if regs := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+	// 5% below baseline is inside a 10% tolerance.
+	cur.Serving.EngineSPS = base.Serving.EngineSPS * 0.95
+	cur.Sparsity.Rows[0].SparseSPS = base.Sparsity.Rows[0].SparseSPS * 0.95
+	if regs := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift regressed: %v", regs)
+	}
+}
+
+// TestCompareBenchReportsFlagsRegressions: every metric family — serving,
+// sharding rows matched by chip count, sparsity rows matched by target
+// density — fails when it drops beyond tolerance, with a message naming
+// the metric.
+func TestCompareBenchReportsFlagsRegressions(t *testing.T) {
+	base := compareFixture()
+	cur := compareFixture()
+	cur.Serving.SerialSPS = 500            // -50%
+	cur.Sharding.Rows[1].ThroughputSPS = 1 // 2-chip row collapses
+	cur.Sparsity.Rows[0].SparseSPS = 100   // d=0.05 row collapses
+	regs := CompareBenchReports(base, cur, 0.10)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestCompareBenchReportsSkipsAbsentBaselines: zero or missing baseline
+// metrics — an older snapshot predating a newer experiment — never
+// regress, so reports stay comparable across schema growth.
+func TestCompareBenchReportsSkipsAbsentBaselines(t *testing.T) {
+	base := compareFixture()
+	base.Sparsity = SparsityBenchResult{} // pre-sparsity snapshot
+	base.Serving.EngineSPS = 0            // absent metric
+	cur := compareFixture()
+	cur.Serving.EngineSPS = 1 // would fail against any real baseline
+	cur.Sparsity.Rows[0].SparseSPS = 1
+	if regs := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("absent baseline metrics regressed: %v", regs)
+	}
+	// Rows present in the baseline but missing from the fresh run are
+	// simply unmatched — the comparator only checks matched rows.
+	cur2 := compareFixture()
+	cur2.Sharding.Rows = cur2.Sharding.Rows[:1]
+	if regs := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 {
+		t.Fatalf("unmatched rows regressed: %v", regs)
+	}
+}

@@ -39,6 +39,14 @@ type EngineConfig struct {
 	// ModeSpikingNoisy the sharded deployment is one physical set of
 	// chips with a single variation draw. 0 or 1 serves single-chip.
 	Chips int
+	// Spike selects the spiking kernel (default SpikeAuto: pick dense or
+	// bit-packed sparse per micro-batch from its observed spike density).
+	// The kernels are bit-identical, so this is purely a performance
+	// knob; FPSA_SPIKE_PATH overrides it at deploy time.
+	Spike SpikePath
+	// SparseThreshold is the auto-path density cutoff in (0, 1]; 0 means
+	// the built-in default (0.30). FPSA_SPIKE_DENSITY overrides it.
+	SparseThreshold float64
 }
 
 // defaultEngineConfig is the serving sweet spot every engine starts
@@ -82,15 +90,21 @@ func newEngine(sn *SpikingNet, cfg EngineConfig, policy serve.StagePolicy) (*Eng
 	if err != nil {
 		return nil, err
 	}
+	spike, err := cfg.Spike.xbarPath()
+	if err != nil {
+		return nil, err
+	}
 	eng, err := serve.New(sn.prog, serve.Options{
-		Workers:       cfg.Workers,
-		MaxBatch:      cfg.MaxBatch,
-		FlushInterval: cfg.FlushInterval,
-		QueueDepth:    cfg.QueueDepth,
-		Mode:          mode,
-		Seed:          sn.currentSeed() + 7,
-		Chips:         cfg.Chips,
-		Policy:        policy,
+		Workers:         cfg.Workers,
+		MaxBatch:        cfg.MaxBatch,
+		FlushInterval:   cfg.FlushInterval,
+		QueueDepth:      cfg.QueueDepth,
+		Mode:            mode,
+		Seed:            sn.currentSeed() + 7,
+		Chips:           cfg.Chips,
+		Policy:          policy,
+		Spike:           spike,
+		SparseThreshold: cfg.SparseThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +189,14 @@ type EngineStats struct {
 	ExecBatches   uint64
 	MeanExecBatch float64
 	MaxExecBatch  int
+	// SparseKernels and DenseKernels count per-crossbar spiking-kernel
+	// invocations that took the bit-packed sparse path versus the dense
+	// cycle walk, across every execution replica; SpikeDensity is the
+	// aggregate observed input spike density over those calls. All zero
+	// under ModeReference, which runs neither kernel.
+	SparseKernels uint64
+	DenseKernels  uint64
+	SpikeDensity  float64
 	ThroughputSPS float64
 	P50LatencyUS  float64
 	P99LatencyUS  float64

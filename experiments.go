@@ -12,13 +12,14 @@ import (
 
 // ExperimentIDs lists the reproducible paper artifacts plus the ablation
 // studies grounded in the paper's §7 discussion and the measured serving
-// artifacts ("serving" and "sharding", tunable via fpsa-bench -batch).
+// artifacts ("serving", "sharding" and "sparsity", tunable via
+// fpsa-bench -batch).
 func ExperimentIDs() []string {
 	ids := []string{
 		"table1", "table2", "table3",
 		"figure2", "figure6", "figure7", "figure8", "figure9",
 		"ablation-transmission", "ablation-channels", "ablation-heteropes",
-		"serving", "sharding",
+		"serving", "sharding", "sparsity",
 	}
 	sort.Strings(ids)
 	return ids
@@ -85,6 +86,8 @@ func RunExperiment(ctx context.Context, id string) (string, error) {
 		return RunServingExperiment(ctx, 0)
 	case "sharding":
 		return RunShardingExperiment(ctx, 0)
+	case "sparsity":
+		return RunSparsityExperiment(ctx, 0)
 	case "ablation-heteropes":
 		rows, err := experiments.AblationHeteroPEs(64)
 		if err != nil {

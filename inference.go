@@ -9,6 +9,7 @@ import (
 	"fpsa/internal/device"
 	"fpsa/internal/synth"
 	"fpsa/internal/trainer"
+	"fpsa/internal/xbar"
 )
 
 // Dataset is a labeled feature set with features in [0, 1].
@@ -125,6 +126,69 @@ func (m ExecMode) String() string {
 		return "noisy"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// SpikePath selects which spiking kernel evaluates each crossbar's
+// micro-batches. The dense kernel walks every cycle of every column; the
+// sparse kernel works on bit-packed spike trains and skips dead cycles
+// (and, with ideal programming, collapses equal-count rows). The two are
+// bit-identical in every execution mode — the choice changes wall-clock,
+// never outputs — so SpikeAuto, which probes each micro-batch's spike
+// density and picks per batch, is the right default. The FPSA_SPIKE_PATH
+// and FPSA_SPIKE_DENSITY environment variables override the configured
+// path and auto threshold at deploy time.
+type SpikePath int
+
+// Spiking-kernel paths.
+const (
+	// SpikeAuto probes each micro-batch's input spike density and takes
+	// the sparse kernel at or below the configured threshold (and always
+	// on ideally programmed crossbars, where it measures faster at every
+	// density).
+	SpikeAuto SpikePath = iota
+	// SpikeDense forces the dense cycle-walk kernel.
+	SpikeDense
+	// SpikeSparse forces the bit-packed sparse kernel.
+	SpikeSparse
+)
+
+// String names the path the way the CLIs spell it.
+func (p SpikePath) String() string {
+	switch p {
+	case SpikeAuto:
+		return "auto"
+	case SpikeDense:
+		return "dense"
+	case SpikeSparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("spikepath(%d)", int(p))
+}
+
+// ParseSpikePath parses a CLI spelling of a SpikePath.
+func ParseSpikePath(name string) (SpikePath, error) {
+	switch name {
+	case "auto", "":
+		return SpikeAuto, nil
+	case "dense":
+		return SpikeDense, nil
+	case "sparse":
+		return SpikeSparse, nil
+	}
+	return 0, fmt.Errorf("%w: unknown spike path %q (want auto, dense, or sparse)", ErrInvalidArgument, name)
+}
+
+// xbarPath maps the public path onto the kernel layer's.
+func (p SpikePath) xbarPath() (xbar.Path, error) {
+	switch p {
+	case SpikeAuto:
+		return xbar.PathAuto, nil
+	case SpikeDense:
+		return xbar.PathDense, nil
+	case SpikeSparse:
+		return xbar.PathSparse, nil
+	}
+	return 0, fmt.Errorf("%w: unknown spike path %d", ErrInvalidArgument, p)
 }
 
 // SpikingNet is a network deployed onto simulated FPSA processing

@@ -27,13 +27,16 @@ import (
 
 	"fpsa/internal/shard"
 	"fpsa/internal/synth"
+	"fpsa/internal/xbar"
 )
 
 // runner is the execution surface a worker drives: a private single-chip
-// synth.Executor, or the engine's shared multi-chip pipeline.
+// synth.Executor, or the engine's shared multi-chip pipeline. KernelStats
+// exposes the spiking-kernel selection counters for Stats aggregation.
 type runner interface {
 	Validate(input []int) error
 	RunBatch(inputs [][]int) ([][]int, error)
+	KernelStats() xbar.KernelStats
 }
 
 // Options configures an Engine.
@@ -69,6 +72,15 @@ type Options struct {
 	// Policy selects the stage-partitioning objective of a sharded
 	// engine (default StageBalanced).
 	Policy StagePolicy
+	// Spike selects the spiking kernel every worker's crossbars run:
+	// xbar.PathAuto (zero value) picks dense or bit-packed sparse per
+	// micro-batch from its observed spike density, PathDense/PathSparse
+	// force one kernel. Purely a performance knob — the kernels are
+	// bit-identical.
+	Spike xbar.Path
+	// SparseThreshold is the auto-path density cutoff (0 means
+	// xbar.DefaultSparseThreshold).
+	SparseThreshold float64
 }
 
 // StagePolicy selects how a sharded engine (Chips ≥ 2) cuts the
@@ -137,9 +149,12 @@ type Engine struct {
 	stats   tracker
 	// pipe is the shared multi-chip pipeline of a sharded engine (nil
 	// for the per-worker single-chip layout); chips is the realized
-	// pipeline depth (1 when unsharded).
-	pipe  *synth.PipelineExecutor
-	chips int
+	// pipeline depth (1 when unsharded). runners keeps every execution
+	// surface so Stats can aggregate kernel-selection counters (their
+	// counters are atomic, so reads race nothing).
+	pipe    *synth.PipelineExecutor
+	chips   int
+	runners []runner
 
 	mu     sync.RWMutex
 	closed bool
@@ -165,7 +180,7 @@ func New(prog *synth.Program, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: partitioning across %d chips: %w", opts.Chips, err)
 		}
-		ropts := synth.RunOptions{Mode: opts.Mode}
+		ropts := synth.RunOptions{Mode: opts.Mode, Spike: opts.Spike, SparseThreshold: opts.SparseThreshold}
 		if opts.Mode == synth.ModeSpikingNoisy {
 			ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
 		}
@@ -180,7 +195,7 @@ func New(prog *synth.Program, opts Options) (*Engine, error) {
 		}
 	} else {
 		for w := range runners {
-			ropts := synth.RunOptions{Mode: opts.Mode}
+			ropts := synth.RunOptions{Mode: opts.Mode, Spike: opts.Spike, SparseThreshold: opts.SparseThreshold}
 			if opts.Mode == synth.ModeSpikingNoisy {
 				ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
 			}
@@ -191,6 +206,7 @@ func New(prog *synth.Program, opts Options) (*Engine, error) {
 			runners[w] = ex
 		}
 	}
+	e.runners = runners
 	e.reqs = make(chan *request, opts.QueueDepth)
 	e.batches = make(chan []*request, opts.Workers)
 	e.stats.start = time.Now()
@@ -411,12 +427,32 @@ func (e *Engine) worker(ex runner) {
 // now.
 func (e *Engine) QueueDepth() int { return len(e.reqs) }
 
-// Stats snapshots the engine's counters and latency percentiles.
+// Stats snapshots the engine's counters and latency percentiles,
+// including the spiking-kernel selection counters aggregated across every
+// execution replica (or the one shared pipeline of a sharded engine).
 func (e *Engine) Stats() Stats {
 	s := e.stats.snapshot()
 	s.Workers = e.opts.Workers
 	s.MaxBatch = e.opts.MaxBatch
 	s.Chips = e.chips
 	s.QueueDepth = len(e.reqs)
+	ks := e.kernelStats()
+	s.SparseKernels = ks.SparseBatches
+	s.DenseKernels = ks.DenseBatches
+	s.SpikeDensity = ks.Density()
 	return s
+}
+
+// kernelStats aggregates kernel-selection counters. A sharded engine's
+// workers all share the one pipeline, so it is counted once, not per
+// worker.
+func (e *Engine) kernelStats() xbar.KernelStats {
+	if e.pipe != nil {
+		return e.pipe.KernelStats()
+	}
+	var st xbar.KernelStats
+	for _, r := range e.runners {
+		st = st.Add(r.KernelStats())
+	}
+	return st
 }

@@ -11,6 +11,7 @@ import (
 
 	"fpsa/internal/synth"
 	"fpsa/internal/trainer"
+	"fpsa/internal/xbar"
 )
 
 // buildProgram trains a small MLP and compiles it to an executable
@@ -393,6 +394,57 @@ func TestExecBatchStats(t *testing.T) {
 	for _, want := range []string{"exec mean", "max"} {
 		if !strings.Contains(s.String(), want) {
 			t.Errorf("Stats.String() = %q missing %q", s.String(), want)
+		}
+	}
+}
+
+// TestSpikePathEquivalenceAndStats: engines forced onto the dense and
+// the bit-packed sparse kernel return identical outputs (single-chip and
+// sharded), and Stats reports the kernel selections and observed spike
+// density.
+func TestSpikePathEquivalenceAndStats(t *testing.T) {
+	prog := buildProgram(t, 23, []int{10, 8, 6, 3})
+	inputs := randomInputs(prog, 24, 10)
+	run := func(path xbar.Path, chips int) ([][]int, Stats) {
+		t.Helper()
+		eng, err := New(prog, Options{
+			Workers: 2, MaxBatch: 4, Mode: synth.ModeSpiking,
+			Spike: path, Chips: chips,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		outs, err := eng.InferBatch(context.Background(), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs, eng.Stats()
+	}
+	want, denseStats := run(xbar.PathDense, 1)
+	if denseStats.SparseKernels != 0 || denseStats.DenseKernels == 0 {
+		t.Errorf("forced-dense stats: %d sparse / %d dense kernels",
+			denseStats.SparseKernels, denseStats.DenseKernels)
+	}
+	for _, chips := range []int{1, 2} {
+		got, sparseStats := run(xbar.PathSparse, chips)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("chips=%d: item %d out[%d]: sparse %d, dense %d",
+						chips, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+		if sparseStats.DenseKernels != 0 || sparseStats.SparseKernels == 0 {
+			t.Errorf("chips=%d forced-sparse stats: %d sparse / %d dense kernels",
+				chips, sparseStats.SparseKernels, sparseStats.DenseKernels)
+		}
+		if sparseStats.SpikeDensity <= 0 || sparseStats.SpikeDensity > 1 {
+			t.Errorf("chips=%d SpikeDensity = %g, want in (0,1]", chips, sparseStats.SpikeDensity)
+		}
+		if !strings.Contains(sparseStats.String(), "kernels") {
+			t.Errorf("Stats.String() = %q missing kernel counters", sparseStats.String())
 		}
 	}
 }

@@ -30,6 +30,14 @@ type Stats struct {
 	ExecBatches   uint64
 	MeanExecBatch float64
 	MaxExecBatch  int
+	// SparseKernels and DenseKernels count per-crossbar spiking-kernel
+	// invocations that took the bit-packed sparse path versus the dense
+	// cycle walk, summed over every execution replica; SpikeDensity is
+	// the aggregate observed input spike density across those calls.
+	// All zero under ModeReference, which runs neither kernel.
+	SparseKernels uint64
+	DenseKernels  uint64
+	SpikeDensity  float64
 	// ThroughputSPS is completed requests per second of engine uptime.
 	ThroughputSPS float64
 	// P50LatencyUS and P99LatencyUS are queue-to-completion latency
@@ -54,6 +62,10 @@ func (s Stats) String() string {
 		s.ThroughputSPS, s.P50LatencyUS, s.P99LatencyUS, s.QueueDepth, s.Workers)
 	if s.Chips > 1 {
 		out += fmt.Sprintf(", %d pipelined chips", s.Chips)
+	}
+	if s.SparseKernels+s.DenseKernels > 0 {
+		out += fmt.Sprintf(", kernels %d sparse / %d dense (density %.3f)",
+			s.SparseKernels, s.DenseKernels, s.SpikeDensity)
 	}
 	return out
 }

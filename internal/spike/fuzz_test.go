@@ -1,0 +1,56 @@
+package spike
+
+import "testing"
+
+// FuzzPackRoundTrip drives the packed codec with arbitrary spike patterns
+// and window widths: Pack must round-trip through Unpack bit-exactly, stay
+// canonical (no stray bits past the window), agree with the boolean train
+// on Count, and PackedUniform must match Pack(UniformTrain(...)) lane for
+// lane. Seed corpus under testdata/fuzz/FuzzPackRoundTrip; CI runs a short
+// -fuzztime smoke pass.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0x01}, 1)
+	f.Add([]byte{0xff, 0xff}, 64)
+	f.Add([]byte{0xaa, 0x55, 0x00, 0x10}, 100)
+	f.Fuzz(func(t *testing.T, pattern []byte, window int) {
+		if window < 0 || window > 1<<12 {
+			t.Skip()
+		}
+		tr := NewTrain(window)
+		count := 0
+		for i := range tr {
+			if len(pattern) > 0 && pattern[i%len(pattern)]&(1<<uint(i&7)) != 0 {
+				tr[i] = true
+				count++
+			}
+		}
+		p := Pack(tr)
+		if len(p) != Lanes(window) {
+			t.Fatalf("Pack: %d lanes, want %d", len(p), Lanes(window))
+		}
+		if p.Count() != count {
+			t.Fatalf("Pack: Count %d, want %d", p.Count(), count)
+		}
+		for i := window; i < p.Capacity(); i++ {
+			if p.Get(i) {
+				t.Fatalf("Pack: stray bit at cycle %d past window %d", i, window)
+			}
+		}
+		back := p.Unpack(window)
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("round trip: cycle %d = %v, want %v", i, back[i], tr[i])
+			}
+		}
+		// The jump-Bresenham generator must agree with the reference
+		// generator for this train's count at this window.
+		want := Pack(UniformTrain(count, window))
+		got := PackedUniform(count, window)
+		for l := range want {
+			if got[l] != want[l] {
+				t.Fatalf("PackedUniform(%d,%d): lane %d = %#x, want %#x", count, window, l, got[l], want[l])
+			}
+		}
+	})
+}

@@ -2,6 +2,18 @@ package spike
 
 import "math"
 
+// Stepper is the cycle-stepped neuron contract shared by the ideal and RC
+// models: advance one pipeline cycle with a conductance drive, report
+// whether a spike is emitted, and Reset between sampling windows ("a reset
+// signal will be sent to clear internal states before a new sampling window
+// begins", §4.2). The packed kernels in internal/xbar inline this contract,
+// so tests pin that Reset restores every implementation to its
+// freshly-constructed behavior.
+type Stepper interface {
+	Step(drive float64) bool
+	Reset()
+}
+
 // Neuron is the idealized integrate-and-fire neuron the paper's derivation
 // assumes (Eq. 2-5): it accumulates the column conductance-drive each cycle
 // and fires when the accumulation reaches the threshold η, carrying the

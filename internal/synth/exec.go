@@ -9,6 +9,7 @@ import (
 	"fpsa/internal/coreop"
 	"fpsa/internal/device"
 	"fpsa/internal/spike"
+	"fpsa/internal/xbar"
 )
 
 // ExternalStage marks an ExecRef as reading the network's external input.
@@ -76,6 +77,16 @@ type RunOptions struct {
 	Rng *rand.Rand
 	// Spec overrides the cell spec (default device.Cell4Bit).
 	Spec device.CellSpec
+	// Spike selects the spiking kernel for every crossbar the program
+	// runs on: xbar.PathAuto (zero value) probes each micro-batch's spike
+	// density and picks dense or bit-packed sparse per batch;
+	// xbar.PathDense and xbar.PathSparse force one kernel. The two
+	// kernels are bit-identical in every mode, so this is purely a
+	// performance knob.
+	Spike xbar.Path
+	// SparseThreshold is the auto-path density cutoff; zero means
+	// xbar.DefaultSparseThreshold.
+	SparseThreshold float64
 }
 
 // Run executes the program on one input vector of spike counts in [0, Γ]

@@ -55,9 +55,11 @@ func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
 	}
 	opts.Spec = spec
 	cfg := xbar.Config{
-		Params: p.Params,
-		Spec:   spec,
-		Rep:    device.NewAdd(spec, p.Params.CellsPerWeight),
+		Params:          p.Params,
+		Spec:            spec,
+		Rep:             device.NewAdd(spec, p.Params.CellsPerWeight),
+		Path:            opts.Spike,
+		SparseThreshold: opts.SparseThreshold,
 	}
 	ex := &Executor{
 		prog:      p,
@@ -89,6 +91,18 @@ func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
 
 // Mode returns the execution mode the Executor was programmed for.
 func (e *Executor) Mode() ExecMode { return e.opts.Mode }
+
+// KernelStats sums the spiking-kernel selection counters over every
+// crossbar the Executor programmed: how many micro-batch kernel calls took
+// the packed sparse path versus the dense path, and the aggregate observed
+// input spike density.
+func (e *Executor) KernelStats() xbar.KernelStats {
+	var st xbar.KernelStats
+	for _, u := range e.units { //fpsa:nondet summing uint64 counters; order-free
+		st = st.Add(u.KernelStats())
+	}
+	return st
+}
 
 // Validate checks one input vector's length and window range without
 // executing anything — the pre-flight the serving engine runs so one bad

@@ -188,9 +188,11 @@ func NewPipelineExecutor(p *Program, plan *shard.Plan, opts RunOptions) (*Pipeli
 	}
 	opts.Spec = spec
 	cfg := xbar.Config{
-		Params: p.Params,
-		Spec:   spec,
-		Rep:    device.NewAdd(spec, p.Params.CellsPerWeight),
+		Params:          p.Params,
+		Spec:            spec,
+		Rep:             device.NewAdd(spec, p.Params.CellsPerWeight),
+		Path:            opts.Spike,
+		SparseThreshold: opts.SparseThreshold,
 	}
 
 	pe := &PipelineExecutor{
@@ -264,6 +266,20 @@ func (pe *PipelineExecutor) Plan() *shard.Plan { return pe.plan }
 
 // Mode returns the execution mode the pipeline was programmed for.
 func (pe *PipelineExecutor) Mode() ExecMode { return pe.opts.Mode }
+
+// KernelStats sums the spiking-kernel selection counters over every
+// crossbar on every chip. The counters are atomics, so reading them while
+// chip goroutines are mid-batch is safe (each count lands before the
+// batch's results are delivered).
+func (pe *PipelineExecutor) KernelStats() xbar.KernelStats {
+	var st xbar.KernelStats
+	for _, chip := range pe.chips {
+		for _, u := range chip.units { //fpsa:nondet summing uint64 counters; order-free
+			st = st.Add(u.KernelStats())
+		}
+	}
+	return st
+}
 
 // Validate checks one input vector without executing anything.
 func (pe *PipelineExecutor) Validate(input []int) error {

@@ -1,0 +1,526 @@
+package xbar
+
+import (
+	"math"
+	"math/bits"
+	"os"
+	"strconv"
+
+	"fpsa/internal/spike"
+)
+
+// Path selects which spiking kernel SimulateCountsBatch runs. The sparse
+// and dense kernels are bit-identical (pinned by the property/fuzz suite
+// and documented in docs/INVARIANTS.md), so Path is purely a performance
+// knob.
+type Path int
+
+const (
+	// PathAuto probes each micro-batch's spike density and takes the
+	// packed kernel when it is at or below the sparse threshold. This is
+	// the default everywhere.
+	PathAuto Path = iota
+	// PathDense always runs the dense cycle-level kernel.
+	PathDense
+	// PathSparse always runs the bit-packed kernel.
+	PathSparse
+)
+
+// String renders the path the way the FPSA_SPIKE_PATH env var and the
+// -spikepath flag spell it.
+func (p Path) String() string {
+	switch p {
+	case PathDense:
+		return "dense"
+	case PathSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// DefaultSparseThreshold is the auto-selection density cutoff: micro-
+// batches whose input spike density (Σ counts / (batch·rows·Γ)) is at or
+// below it take the packed kernel. The value is tuned on the fpsa-bench
+// sparsity sweep (BENCH_PR7.json): at the crossover the kernels are within
+// noise of each other, well below it the packed path wins by >2×.
+const DefaultSparseThreshold = 0.30
+
+// Environment overrides for the spike-path selection, read once per
+// Program call. They outrank the Config/engine options so an operator can
+// flip a deployed binary without a rebuild:
+//
+//	FPSA_SPIKE_PATH=auto|dense|sparse   force the kernel choice
+//	FPSA_SPIKE_DENSITY=0.15             auto-selection density threshold
+const (
+	EnvSpikePath     = "FPSA_SPIKE_PATH"
+	EnvSparseDensity = "FPSA_SPIKE_DENSITY"
+)
+
+// ResolvePath applies the default threshold and the environment overrides
+// to a configured path/threshold pair. Unknown env values are ignored
+// rather than failing: kernel selection must never take down a serving
+// process, and the paths are semantically identical anyway.
+func ResolvePath(path Path, threshold float64) (Path, float64) {
+	if threshold <= 0 || threshold > 1 {
+		threshold = DefaultSparseThreshold
+	}
+	switch os.Getenv(EnvSpikePath) {
+	case "auto":
+		path = PathAuto
+	case "dense":
+		path = PathDense
+	case "sparse":
+		path = PathSparse
+	}
+	if v := os.Getenv(EnvSparseDensity); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			threshold = f
+		}
+	}
+	return path, threshold
+}
+
+// KernelStats counts spiking-kernel selections and the observed input
+// spike density. Counters accumulate across a Crossbar's lifetime and are
+// safe to read while other goroutines execute (serve.Engine reads them
+// live); executors sum them across their crossbars.
+type KernelStats struct {
+	// SparseBatches / DenseBatches count SimulateCountsBatch calls that
+	// took the packed and the dense kernel respectively.
+	SparseBatches uint64
+	DenseBatches  uint64
+	// Spikes and SpikeSlots accumulate the observed input spike counts
+	// and the capacity (batch·rows·Γ) they were observed over; their
+	// ratio is the density the auto-probe saw.
+	Spikes     uint64
+	SpikeSlots uint64
+}
+
+// Density returns the observed input spike density in [0, 1], or 0 before
+// any spiking batch ran.
+func (s KernelStats) Density() float64 {
+	if s.SpikeSlots == 0 {
+		return 0
+	}
+	return float64(s.Spikes) / float64(s.SpikeSlots)
+}
+
+// Add returns the element-wise sum of two stats records.
+func (s KernelStats) Add(o KernelStats) KernelStats {
+	s.SparseBatches += o.SparseBatches
+	s.DenseBatches += o.DenseBatches
+	s.Spikes += o.Spikes
+	s.SpikeSlots += o.SpikeSlots
+	return s
+}
+
+// KernelStats returns the crossbar's accumulated kernel-selection
+// counters.
+func (c *Crossbar) KernelStats() KernelStats {
+	return KernelStats{
+		SparseBatches: c.sparseN.Load(),
+		DenseBatches:  c.denseN.Load(),
+		Spikes:        c.spikeN.Load(),
+		SpikeSlots:    c.slotN.Load(),
+	}
+}
+
+// VMMBatchPacked computes the batched binary vector-matrix product over a
+// bit-packed input: masks is batch×Lanes(rows) words where bit i of item
+// b's lane group reports input i firing, and
+//
+//	out[b*cols+j] = Σ_{i: bit i set} weights[i*cols+j]
+//
+// It is the packed analog of VMMBatch with 0/1 inputs and is bit-identical
+// to it: set rows are visited in ascending order and 1·w adds are exactly
+// w adds, so the float accumulation order matches (pinned by
+// FuzzVMMBatchPackedVsDense). Stray bits at or beyond rows in the last
+// lane are ignored.
+func VMMBatchPacked(out, weights []float64, masks []uint64, batch, rows, cols int) {
+	if batch == 0 || rows == 0 || cols == 0 {
+		return
+	}
+	lanes := spike.Lanes(rows)
+	_ = out[batch*cols-1]
+	_ = masks[batch*lanes-1]
+	_ = weights[rows*cols-1]
+	for k := range out[:batch*cols] {
+		out[k] = 0
+	}
+	tail := uint64(0)
+	if r := rows & 63; r != 0 {
+		tail = 1<<uint(r) - 1
+	}
+	for b := 0; b < batch; b++ {
+		o := out[b*cols : (b+1)*cols]
+		m := masks[b*lanes : (b+1)*lanes]
+		for l, word := range m {
+			if l == lanes-1 && tail != 0 {
+				word &= tail
+			}
+			base := l << 6
+			for word != 0 {
+				i := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				w := weights[i*cols : (i+1)*cols]
+				for j, wv := range w {
+					o[j] += wv
+				}
+			}
+		}
+	}
+}
+
+// SimulateCountsBatchDense forces the dense cycle-level kernel regardless
+// of the configured path — the benchmark and property-test baseline.
+func (c *Crossbar) SimulateCountsBatchDense(dst, src []int, batch int) error {
+	if batch == 0 {
+		return nil
+	}
+	if err := c.checkBatch(dst, src, batch); err != nil {
+		return err
+	}
+	c.denseN.Add(1)
+	c.simulateCountsDense(dst, src, batch)
+	return nil
+}
+
+// SimulateCountsBatchPacked forces the bit-packed sparse kernel regardless
+// of the configured path. Output is bit-identical to the dense kernel.
+func (c *Crossbar) SimulateCountsBatchPacked(dst, src []int, batch int) error {
+	if batch == 0 {
+		return nil
+	}
+	if err := c.checkBatch(dst, src, batch); err != nil {
+		return err
+	}
+	c.sparseN.Add(1)
+	c.simulateCountsPacked(dst, src, batch)
+	return nil
+}
+
+// probeDensity sums the clamped input spike counts of a micro-batch and
+// records them in the stats counters; the returned density drives the
+// auto-selection.
+func (c *Crossbar) probeDensity(src []int, batch int) float64 {
+	total := 0
+	for _, v := range src {
+		total += spike.Clamp(v, c.window)
+	}
+	slots := batch * c.rows * c.window
+	c.spikeN.Add(uint64(total))
+	c.slotN.Add(uint64(slots))
+	if slots == 0 {
+		return 0
+	}
+	return float64(total) / float64(slots)
+}
+
+// simulateCountsPacked is the sparsity-aware spiking kernel: the same
+// cycle-level integrate-and-fire/subtracter semantics as the dense kernel,
+// restructured around bit-packed firing masks so that work scales with
+// spike events instead of with rows×Γ×cols.
+//
+// Per batch item it
+//
+//  1. collapses the input rows into drive units — every row with a zero
+//     count drops out; when the programmed conductances are exact-sum
+//     (integer-valued and bounded, see Program) rows with equal counts
+//     share one unit whose conductance rows are pre-summed, because equal
+//     counts produce identical Bresenham trains and integer sums are
+//     order-independent, so the per-cycle drive is bit-identical either
+//     way. With inexact (noisy) conductances every firing row stays its
+//     own unit in ascending row order, preserving the dense float
+//     accumulation order exactly;
+//  2. builds a timestep-major firing mask (Γ × Lanes(units) words) with
+//     the jump-Bresenham generator and flattens it into an event list:
+//     the live cycles and, per live cycle, the firing units in ascending
+//     order;
+//  3. accumulates the drive rows of each live cycle into a live×2·cols
+//     drive matrix — row-major streaming adds over the firing units in
+//     ascending order, exactly the dense kernel's accumulation order per
+//     column — and then walks each column independently: live cycles step
+//     the membrane/threshold/subtracter statements with the
+//     pre-accumulated drive, and the dead cycles between them are skipped
+//     wholesale once the column's membranes are below threshold. While a
+//     membrane is still at or above η the column steps through the
+//     zero-drive cycles one by one, because each such cycle really fires
+//     (the "hot drain"); adding a drive of 0.0 to a membrane is bit-exactly
+//     a no-op, so skipping cold cycles changes nothing. Columns whose
+//     conductances are zero in both polarities never accumulate drive and
+//     (for η > 0) never fire, so they are skipped entirely.
+//
+// Every floating-point operation the dense kernel performs on a value that
+// could differ is performed here, per column, in the same order; every
+// skipped operation is provably a no-op. That is the sparse/dense
+// bit-exactness invariant the property and fuzz suites pin.
+func (c *Crossbar) simulateCountsPacked(dst, src []int, batch int) {
+	window, cols := c.window, c.cols
+	// Column skip list only applies while η > 0; with η ≤ 0 every column
+	// fires every cycle, so all columns must be stepped.
+	eta := c.eta
+	colIdx := c.activeCols
+	if eta <= 0 {
+		colIdx = nil
+	}
+	for b := 0; b < batch; b++ {
+		counts := src[b*c.rows : (b+1)*c.rows]
+		out := dst[b*cols : (b+1)*cols]
+		units := c.buildUnits(counts)
+		ulanes := spike.Lanes(units)
+		stride := 64 * ulanes
+		c.masks = grow(c.masks, window*ulanes)
+		for k := range c.masks {
+			c.masks[k] = 0
+		}
+		for u := 0; u < units; u++ {
+			spike.AppendUniform(c.masks, c.unitCount[u], window, u, stride)
+		}
+		// Flatten the masks into the event list: evCycles holds the live
+		// cycles ascending, evUnits the firing units of each live cycle
+		// (ascending unit order), evStart the per-cycle offsets into it.
+		c.evCycles = c.evCycles[:0]
+		c.evStart = c.evStart[:0]
+		c.evUnits = c.evUnits[:0]
+		for t := 0; t < window; t++ {
+			m := c.masks[t*ulanes : (t+1)*ulanes]
+			live := false
+			for l, word := range m {
+				base := l << 6
+				for word != 0 {
+					u := base + bits.TrailingZeros64(word)
+					word &= word - 1
+					if !live {
+						c.evCycles = append(c.evCycles, t)
+						c.evStart = append(c.evStart, len(c.evUnits))
+						live = true
+					}
+					c.evUnits = append(c.evUnits, u)
+				}
+			}
+		}
+		c.evStart = append(c.evStart, len(c.evUnits))
+		// Accumulate each live cycle's drives: positive at [li·2c, li·2c+c),
+		// negative at [li·2c+c, (li+1)·2c). The first firing unit writes,
+		// the rest add — 0 + g equals g bitwise, so the per-column sum
+		// order is exactly the dense kernel's.
+		c.drvAll = grow(c.drvAll, len(c.evCycles)*2*cols)
+		for li := range c.evCycles {
+			row := c.drvAll[li*2*cols : (li+1)*2*cols]
+			us := c.evUnits[c.evStart[li]:c.evStart[li+1]]
+			up, un := c.unitPos[us[0]], c.unitNeg[us[0]]
+			for j := 0; j < cols; j++ {
+				row[j] = up[j]
+				row[cols+j] = un[j]
+			}
+			for _, u := range us[1:] {
+				up, un = c.unitPos[u], c.unitNeg[u]
+				for j := 0; j < cols; j++ {
+					row[j] += up[j]
+					row[cols+j] += un[j]
+				}
+			}
+		}
+		for j := 0; j < cols; j++ {
+			out[j] = 0
+		}
+		if colIdx == nil {
+			for j := 0; j < cols; j++ {
+				out[j] = c.runColumnPacked(j, window, cols, eta)
+			}
+		} else {
+			for _, j := range colIdx {
+				out[j] = c.runColumnPacked(j, window, cols, eta)
+			}
+		}
+	}
+}
+
+// colNeuron is one column's ideal neuron pair and subtracter state during
+// the packed walk. step is the exact statement sequence of the dense
+// kernel's per-column inner loop; step(0, 0) is the zero-drive cycle
+// (membranes never go negative, so += 0.0 is bitwise a no-op).
+type colNeuron struct {
+	memP, memN float64
+	debt, out  int
+	eta        float64
+}
+
+// hot reports whether a zero-drive cycle could still fire this column.
+func (n *colNeuron) hot() bool { return n.memP >= n.eta || n.memN >= n.eta }
+
+// step advances one cycle with the given drives.
+func (n *colNeuron) step(dP, dN float64) {
+	sp := false
+	if n.memP += dP; n.memP >= n.eta {
+		n.memP -= n.eta
+		sp = true
+	}
+	sn := false
+	if n.memN += dN; n.memN >= n.eta {
+		n.memN -= n.eta
+		sn = true
+	}
+	if sn {
+		n.debt++
+	}
+	if sp {
+		if n.debt > 0 {
+			n.debt--
+		} else {
+			n.out++
+		}
+	}
+}
+
+// runColumnPacked runs one column over the current event list and drive
+// matrix and returns its output spike count. Dead cycles are stepped only
+// while the column is hot; a live cycle whose drive happens to be zero for
+// this column is stepped only when hot, which is the same no-op argument.
+func (c *Crossbar) runColumnPacked(j, window, cols int, eta float64) int {
+	n := colNeuron{eta: eta}
+	prev := -1
+	for li, t := range c.evCycles {
+		for gap := t - prev - 1; gap > 0 && n.hot(); gap-- {
+			n.step(0, 0)
+		}
+		dP := c.drvAll[li*2*cols+j]
+		dN := c.drvAll[li*2*cols+cols+j]
+		if dP != 0 || dN != 0 || n.hot() {
+			n.step(dP, dN)
+		}
+		prev = t
+	}
+	for gap := window - 1 - prev; gap > 0 && n.hot(); gap-- {
+		n.step(0, 0)
+	}
+	return n.out
+}
+
+// buildUnits collapses one item's input counts into drive units (see
+// simulateCountsPacked) and returns the unit count. Unit conductance rows
+// land in c.unitPos/c.unitNeg, firing counts in c.unitCount.
+func (c *Crossbar) buildUnits(counts []int) int {
+	window, cols := c.window, c.cols
+	c.unitPos = c.unitPos[:0]
+	c.unitNeg = c.unitNeg[:0]
+	c.unitCount = c.unitCount[:0]
+	if !c.exactSums {
+		// Inexact conductances: one unit per firing row, ascending row
+		// order — the dense accumulation order, preserved bit for bit.
+		for i, cnt := range counts {
+			cnt = spike.Clamp(cnt, window)
+			if cnt == 0 {
+				continue
+			}
+			c.unitPos = append(c.unitPos, c.posG[i*cols:(i+1)*cols])
+			c.unitNeg = append(c.unitNeg, c.negG[i*cols:(i+1)*cols])
+			c.unitCount = append(c.unitCount, cnt)
+		}
+		return len(c.unitCount)
+	}
+	// Exact-sum conductances: group rows by firing count. Equal counts
+	// fire on identical cycles, and integer-valued conductances sum
+	// exactly in any order, so a pre-summed group row drives the column
+	// bit-identically to its member rows added one by one.
+	c.slotMult = grow(c.slotMult, window+1)
+	c.slotRow = grow(c.slotRow, window+1)
+	c.slotUnit = grow(c.slotUnit, window+1)
+	for k := range c.slotMult {
+		c.slotMult[k] = 0
+	}
+	for i, cnt := range counts {
+		cnt = spike.Clamp(cnt, window)
+		if cnt == 0 {
+			continue
+		}
+		if c.slotMult[cnt] == 0 {
+			c.slotRow[cnt] = i
+		}
+		c.slotMult[cnt]++
+	}
+	grouped := 0
+	for cnt := 1; cnt <= window; cnt++ {
+		if c.slotMult[cnt] > 1 {
+			grouped++
+		}
+	}
+	c.groupBuf = grow(c.groupBuf, grouped*2*cols)
+	gi := 0
+	for cnt := 1; cnt <= window; cnt++ {
+		mult := c.slotMult[cnt]
+		if mult == 0 {
+			continue
+		}
+		c.slotUnit[cnt] = len(c.unitCount)
+		if mult == 1 {
+			i := c.slotRow[cnt]
+			c.unitPos = append(c.unitPos, c.posG[i*cols:(i+1)*cols])
+			c.unitNeg = append(c.unitNeg, c.negG[i*cols:(i+1)*cols])
+		} else {
+			pos := c.groupBuf[gi*2*cols : gi*2*cols+cols]
+			neg := c.groupBuf[gi*2*cols+cols : (gi+1)*2*cols]
+			for j := range pos {
+				pos[j], neg[j] = 0, 0
+			}
+			gi++
+			c.unitPos = append(c.unitPos, pos)
+			c.unitNeg = append(c.unitNeg, neg)
+		}
+		c.unitCount = append(c.unitCount, cnt)
+	}
+	for i, cnt := range counts {
+		cnt = spike.Clamp(cnt, window)
+		if cnt == 0 || c.slotMult[cnt] < 2 {
+			continue
+		}
+		up := c.unitPos[c.slotUnit[cnt]]
+		un := c.unitNeg[c.slotUnit[cnt]]
+		pg := c.posG[i*cols : (i+1)*cols]
+		ng := c.negG[i*cols : (i+1)*cols]
+		for j := range up {
+			up[j] += pg[j]
+			un[j] += ng[j]
+		}
+	}
+	return len(c.unitCount)
+}
+
+// classifyProgramming scans the programmed conductances and precomputes
+// the sparse kernel's structural facts: whether conductance sums are
+// exact in any order (every value integer and the worst-case window-long
+// column accumulation far below 2^53 — true for ideal programming, where
+// conductances are integer level counts; false as soon as programming
+// noise produces fractional values), and which columns carry any nonzero
+// conductance at all.
+func (c *Crossbar) classifyProgramming() {
+	exact := true
+	var maxColSum float64
+	colSum := make([]float64, c.cols)
+	for i := 0; i < c.rows; i++ {
+		for j := 0; j < c.cols; j++ {
+			k := i*c.cols + j
+			pg, ng := c.posG[k], c.negG[k]
+			if pg != math.Trunc(pg) || ng != math.Trunc(ng) {
+				exact = false
+			}
+			colSum[j] += math.Abs(pg) + math.Abs(ng)
+		}
+	}
+	active := make([]int, 0, c.cols)
+	for j, s := range colSum {
+		if s > maxColSum {
+			maxColSum = s
+		}
+		if s != 0 {
+			active = append(active, j)
+		}
+	}
+	c.exactSums = exact && float64(c.window)*maxColSum < 1<<52
+	if len(active) == c.cols {
+		c.activeCols = nil // all columns live: use the contiguous loop
+	} else {
+		c.activeCols = active
+	}
+}

@@ -1,0 +1,56 @@
+package xbar
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fpsa/internal/device"
+)
+
+// BenchmarkSimulateCounts compares the dense and packed spiking kernels
+// across input spike densities on a serving-shaped crossbar, for ideal
+// programming (count grouping available) and noisy programming (order-
+// preserving row iteration). The packed win comes from dead-cycle
+// skipping and, in the ideal case, count grouping.
+func BenchmarkSimulateCounts(b *testing.B) {
+	rng := rand.New(rand.NewSource(81))
+	const batch, rows, cols = 16, 48, 24
+	for _, noisy := range []bool{false, true} {
+		cfg := testConfig(0)
+		var prng *rand.Rand
+		label := "ideal"
+		if noisy {
+			cfg.Spec = device.Cell4BitMeasured
+			prng = rand.New(rand.NewSource(17))
+			label = "noisy"
+		}
+		weights := randomWeights(rng, rows, cols, cfg.Rep.MaxWeight())
+		xb, err := Program(cfg, weights, prng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xb.SetEta(float64(cfg.Rep.MaxWeight()) * 12)
+		for _, d := range []float64{0.02, 0.05, 0.1, 0.3, 0.6, 1.0} {
+			src := make([]int, 0, batch*rows)
+			for i := 0; i < batch; i++ {
+				src = append(src, countsAtDensity(rng, rows, xb.Window(), d)...)
+			}
+			dst := make([]int, batch*cols)
+			b.Run(fmt.Sprintf("%s/dense/d=%.2f", label, d), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := xb.SimulateCountsBatchDense(dst, src, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s/packed/d=%.2f", label, d), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := xb.SimulateCountsBatchPacked(dst, src, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -27,6 +27,7 @@ package xbar
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"fpsa/internal/device"
 	"fpsa/internal/spike"
@@ -90,6 +91,14 @@ type Config struct {
 	// Eta is the neuron threshold η in conductance units; zero means
 	// "use Rep.MaxWeight()".
 	Eta float64
+	// Path selects the spiking kernel (dense, bit-packed sparse, or
+	// density-probed auto — the zero value). The kernels are
+	// bit-identical; see SimulateCountsBatch.
+	Path Path
+	// SparseThreshold is the auto-selection density cutoff; ≤ 0 (or > 1)
+	// means DefaultSparseThreshold. FPSA_SPIKE_PATH / FPSA_SPIKE_DENSITY
+	// in the environment override both fields (see ResolvePath).
+	SparseThreshold float64
 }
 
 // Stepper is the common surface of the neuron models SimulateTrains can
@@ -114,6 +123,19 @@ type Crossbar struct {
 	// possibly with variation), row-major rows×cols.
 	posG, negG []float64
 
+	// Spiking-kernel selection (see packed.go): the resolved path and
+	// auto threshold, plus the structural facts classifyProgramming
+	// derives from the conductances.
+	path       Path
+	threshold  float64
+	exactSums  bool  // conductance sums exact in any order (integer values)
+	activeCols []int // columns with any nonzero conductance; nil = all
+
+	// Kernel-selection counters, atomic because serve.Engine reads them
+	// while executor goroutines run.
+	sparseN, denseN atomic.Uint64
+	spikeN, slotN   atomic.Uint64
+
 	// Scratch reused across batch calls (not concurrency-safe).
 	xf         []float64 // batch×rows float inputs
 	accP, accN []float64 // batch×cols reference accumulators
@@ -121,6 +143,20 @@ type Crossbar struct {
 	memP, memN []float64 // cols neuron membrane accumulators
 	debt       []int     // cols subtracter debts
 	trains     []bool    // rows×window spike trains for one item
+
+	// Packed-kernel scratch (see simulateCountsPacked).
+	masks     []uint64    // window×Lanes(units) timestep-major firing masks
+	unitPos   [][]float64 // per-unit positive conductance rows
+	unitNeg   [][]float64 // per-unit negative conductance rows
+	unitCount []int       // per-unit firing counts
+	groupBuf  []float64   // backing store for pre-summed group rows
+	slotMult  []int       // window+1: rows sharing each count
+	slotRow   []int       // window+1: first row with each count
+	slotUnit  []int       // window+1: count → unit index
+	evCycles  []int       // live cycles of the current item, ascending
+	evStart   []int       // per-live-cycle offsets into evUnits
+	evUnits   []int       // firing units per live cycle, ascending
+	drvAll    []float64   // live×2·cols accumulated drives (P then N per cycle)
 }
 
 // Program writes a logical weight matrix weights[i][j] (row-major,
@@ -163,6 +199,7 @@ func Program(cfg Config, weights [][]int, rng *rand.Rand) (*Crossbar, error) {
 		posG:   make([]float64, rows*cols),
 		negG:   make([]float64, rows*cols),
 	}
+	c.path, c.threshold = ResolvePath(cfg.Path, cfg.SparseThreshold)
 	for j := 0; j < cols; j++ {
 		for i := 0; i < rows; i++ {
 			w := weights[i][j]
@@ -182,6 +219,7 @@ func Program(cfg Config, weights [][]int, rng *rand.Rand) (*Crossbar, error) {
 			c.negG[k] = device.ProgramWeight(cfg.Rep, cfg.Spec, neg, rng)
 		}
 	}
+	c.classifyProgramming()
 	return c, nil
 }
 
@@ -201,7 +239,7 @@ func (c *Crossbar) Window() int { return c.window }
 func (c *Crossbar) SetEta(eta float64) { c.eta = eta }
 
 // grow returns buf resized to n, reusing capacity.
-func grow[T float64 | bool | int](buf []T, n int) []T {
+func grow[T float64 | bool | int | uint64](buf []T, n int) []T {
 	if cap(buf) < n {
 		return make([]T, n)
 	}
@@ -260,6 +298,17 @@ func (c *Crossbar) ReferenceBatch(dst, src []int, batch int) error {
 // UniformTrain → Simulate → Count on the historical PE bit for bit; the
 // batch win is locality (one crossbar's conductances stay hot across the
 // whole batch).
+//
+// Two bit-identical kernels back it: the dense cycle walk and the
+// bit-packed sparse walk (simulateCountsPacked). The configured Path picks
+// one; PathAuto (the default) probes the micro-batch's input spike density
+// and takes the packed kernel at or below the sparse threshold, where
+// skipping dead cycles and zero rows wins. Ideally programmed crossbars
+// (integer conductances, exact in any summation order) always take the
+// packed kernel under PathAuto: count grouping collapses equal-count rows
+// there, so it measures faster than the dense walk at every density.
+// Selection counts and the observed density are exposed through
+// KernelStats.
 func (c *Crossbar) SimulateCountsBatch(dst, src []int, batch int) error {
 	if batch == 0 {
 		return nil
@@ -267,6 +316,20 @@ func (c *Crossbar) SimulateCountsBatch(dst, src []int, batch int) error {
 	if err := c.checkBatch(dst, src, batch); err != nil {
 		return err
 	}
+	density := c.probeDensity(src, batch)
+	if c.path == PathSparse || (c.path == PathAuto && (c.exactSums || density <= c.threshold)) {
+		c.sparseN.Add(1)
+		c.simulateCountsPacked(dst, src, batch)
+		return nil
+	}
+	c.denseN.Add(1)
+	c.simulateCountsDense(dst, src, batch)
+	return nil
+}
+
+// simulateCountsDense is the dense cycle-level kernel: every row's train
+// is materialized and every cycle steps every column.
+func (c *Crossbar) simulateCountsDense(dst, src []int, batch int) {
 	window := c.window
 	c.trains = grow(c.trains, c.rows*window)
 	c.drvP = grow(c.drvP, c.cols)
@@ -344,7 +407,6 @@ func (c *Crossbar) SimulateCountsBatch(dst, src []int, batch int) error {
 			}
 		}
 	}
-	return nil
 }
 
 // SimulateTrains runs the cycle-level simulation over one sampling window

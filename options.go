@@ -148,6 +148,22 @@ func WithMode(m ExecMode) EngineOption {
 	return func(s *engineSettings) { s.cfg.Mode = m }
 }
 
+// WithSpikePath selects the spiking kernel the engine's crossbars run
+// (default SpikeAuto: dense or bit-packed sparse per micro-batch, by
+// observed spike density). The kernels are bit-identical in every mode,
+// so this is purely a performance knob; the FPSA_SPIKE_PATH environment
+// variable overrides it at deploy time.
+func WithSpikePath(p SpikePath) EngineOption {
+	return func(s *engineSettings) { s.cfg.Spike = p }
+}
+
+// WithSparseThreshold sets the SpikeAuto density cutoff in (0, 1] below
+// which a micro-batch takes the sparse kernel (0 = the built-in default,
+// 0.30). FPSA_SPIKE_DENSITY overrides it at deploy time.
+func WithSparseThreshold(d float64) EngineOption {
+	return func(s *engineSettings) { s.cfg.SparseThreshold = d }
+}
+
 // WithEngineChips explicitly overrides the engine's chip count. An
 // engine derived from a sharded Deployment inherits the compiled chip
 // count by default; an override that disagrees with a multi-chip

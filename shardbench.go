@@ -3,6 +3,7 @@ package fpsa
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -73,7 +74,14 @@ type ShardingBenchRow struct {
 type ShardingBenchResult struct {
 	Options ShardingBenchOptions
 	Stages  int
-	Rows    []ShardingBenchRow
+	// GoMaxProcs and NumCPU record the host parallelism the sweep ran
+	// under. The pipeline overlaps micro-batches chip by chip, one
+	// goroutine per chip, so a host with GOMAXPROCS < chips time-slices
+	// the stages instead of overlapping them and the multi-chip rows
+	// measure ~1.0x — a host artifact, not a pipeline regression.
+	GoMaxProcs int
+	NumCPU     int
+	Rows       []ShardingBenchRow
 }
 
 // String renders the result as a fpsa-bench artifact.
@@ -104,7 +112,19 @@ func (r ShardingBenchResult) String() string {
 			row.RealChips, strings.Join(stages, "+"), row.ThroughputSPS,
 			row.BatchLatencyUS, speedup, cuts)
 	}
-	b.WriteString("  (pipeline speedup needs GOMAXPROCS ≥ chips: each simulated chip runs on its own goroutine)\n")
+	maxChips := 0
+	for _, row := range r.Rows {
+		if row.RealChips > maxChips {
+			maxChips = row.RealChips
+		}
+	}
+	if r.GoMaxProcs > 0 && r.GoMaxProcs < maxChips {
+		fmt.Fprintf(&b, "  (GOMAXPROCS=%d, NumCPU=%d: fewer cores than chips, so the per-chip goroutines"+
+			" time-slice instead of overlapping — expect ~1.0x multi-chip speedup on this host)\n",
+			r.GoMaxProcs, r.NumCPU)
+	} else {
+		b.WriteString("  (pipeline speedup needs GOMAXPROCS ≥ chips: each simulated chip runs on its own goroutine)\n")
+	}
 	return b.String()
 }
 
@@ -118,7 +138,7 @@ func (r ShardingBenchResult) String() string {
 // the wall-clock goes, which is the experiment. ctx bounds the compile.
 func ShardingBench(ctx context.Context, opts ShardingBenchOptions) (ShardingBenchResult, error) {
 	opts = opts.withDefaults()
-	res := ShardingBenchResult{Options: opts}
+	res := ShardingBenchResult{Options: opts, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
 	train, _ := ds.Split(2.0 / 3)
 	net, err := TrainMLP(opts.Seed, []int{16, 48, 48, 48, 4}, train, 20)

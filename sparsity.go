@@ -1,0 +1,205 @@
+package fpsa
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"fpsa/internal/synth"
+	"fpsa/internal/xbar"
+)
+
+// SparsityBenchOptions shapes the sparse-kernel experiment: the standard
+// MLP serving workload streamed at several input spike densities, with
+// the spiking kernel forced dense, forced sparse, and left on auto.
+type SparsityBenchOptions struct {
+	// Batch is the micro-batch size every configuration streams. 0 means
+	// 16.
+	Batch int
+	// Samples is how many classifications each (density, path)
+	// configuration performs. 0 means 512.
+	Samples int
+	// Densities lists the target input spike densities to sweep, each in
+	// (0, 1]. nil means 0.02, 0.05, 0.10, 0.30, 1.0.
+	Densities []float64
+	// Seed fixes the dataset/training/input seed. 0 means 7.
+	Seed int64
+}
+
+func (o SparsityBenchOptions) withDefaults() SparsityBenchOptions {
+	if o.Batch <= 0 {
+		o.Batch = 16
+	}
+	if o.Samples <= 0 {
+		o.Samples = 512
+	}
+	if len(o.Densities) == 0 {
+		o.Densities = []float64{0.02, 0.05, 0.10, 0.30, 1.0}
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// SparsityBenchRow is one density's measured serving numbers across the
+// three kernel paths.
+type SparsityBenchRow struct {
+	// TargetDensity is the density the input generator aimed for;
+	// MeasuredDensity is what the kernels actually observed at the first
+	// layer (clamping and the silent/active input mix shift it).
+	TargetDensity   float64
+	MeasuredDensity float64
+	// DenseSPS, SparseSPS and AutoSPS are end-to-end samples/s of the
+	// same sample stream with the kernel forced dense, forced sparse,
+	// and on auto selection.
+	DenseSPS  float64
+	SparseSPS float64
+	AutoSPS   float64
+	// Speedup is SparseSPS / DenseSPS; AutoSpeedup is AutoSPS /
+	// DenseSPS. Auto should track the better of the two kernels.
+	Speedup     float64
+	AutoSpeedup float64
+}
+
+// SparsityBenchResult reports the sweep.
+type SparsityBenchResult struct {
+	Options SparsityBenchOptions
+	Rows    []SparsityBenchRow
+}
+
+// String renders the result as a fpsa-bench artifact.
+func (r SparsityBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sparse-kernel serving (MLP 16-24-4, %d samples per cell, mode spiking, batch %d)\n",
+		r.Options.Samples, r.Options.Batch)
+	fmt.Fprintf(&b, "  %-8s %-9s %-12s %-12s %-12s %-9s %s\n",
+		"density", "measured", "dense sps", "sparse sps", "auto sps", "speedup", "auto")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8.2f %-9.3f %-12.1f %-12.1f %-12.1f %-9.2f %.2fx\n",
+			row.TargetDensity, row.MeasuredDensity, row.DenseSPS, row.SparseSPS,
+			row.AutoSPS, row.Speedup, row.AutoSpeedup)
+	}
+	b.WriteString("  (identical outputs on every path — the sparse/dense choice is perf-only, see docs/INVARIANTS.md)\n")
+	return b.String()
+}
+
+// densityFeatures draws one feature vector in [0,1] whose quantized spike
+// counts average roughly d·window: about half the inputs are silent and
+// the active ones spread uniformly below 4d, the mix thresholded
+// activations produce.
+func densityFeatures(rng *rand.Rand, n int, d float64) []float64 {
+	x := make([]float64, n)
+	if d >= 1 {
+		for i := range x {
+			x[i] = 1
+		}
+		return x
+	}
+	if d <= 0 {
+		return x
+	}
+	for i := range x {
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		v := 4 * d * rng.Float64()
+		if v > 1 {
+			v = 1
+		}
+		x[i] = v
+	}
+	return x
+}
+
+// SparsityBench trains and deploys the standard MLP serving workload and
+// streams it at each target input spike density three times: spiking
+// kernel forced dense, forced sparse (bit-packed), and on auto selection.
+// All three paths produce bit-identical outputs (property-tested in
+// internal/synth and internal/xbar); the sweep measures where the
+// bit-packed path's dead-cycle skipping and count grouping pay. ctx
+// bounds the compile.
+func SparsityBench(ctx context.Context, opts SparsityBenchOptions) (SparsityBenchResult, error) {
+	opts = opts.withDefaults()
+	res := SparsityBenchResult{Options: opts}
+	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
+	train, _ := ds.Split(2.0 / 3)
+	net, err := TrainMLP(opts.Seed, []int{16, 24, 4}, train, 30)
+	if err != nil {
+		return res, err
+	}
+	d, err := Compile(ctx, net.Model(), WithWeightSource(net.WeightSource()))
+	if err != nil {
+		return res, err
+	}
+	sn, err := d.NewNet(nil)
+	if err != nil {
+		return res, err
+	}
+	window := sn.Window()
+	rng := rand.New(rand.NewSource(opts.Seed + 31))
+
+	for _, density := range opts.Densities {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		batches := make([][][]int, (opts.Samples+opts.Batch-1)/opts.Batch)
+		left := opts.Samples
+		for i := range batches {
+			n := opts.Batch
+			if n > left {
+				n = left
+			}
+			batch := make([][]int, n)
+			for j := range batch {
+				batch[j] = synth.QuantizeInput(densityFeatures(rng, 16, density), window)
+			}
+			batches[i] = batch
+			left -= n
+		}
+		row := SparsityBenchRow{TargetDensity: density}
+		measure := func(path xbar.Path) (float64, xbar.KernelStats, error) {
+			ex, err := synth.NewExecutor(sn.prog, synth.RunOptions{Mode: synth.ModeSpiking, Spike: path})
+			if err != nil {
+				return 0, xbar.KernelStats{}, err
+			}
+			start := time.Now()
+			for _, batch := range batches {
+				if _, err := ex.RunBatch(batch); err != nil {
+					return 0, xbar.KernelStats{}, err
+				}
+			}
+			return rate(opts.Samples, time.Since(start)), ex.KernelStats(), nil
+		}
+		var st xbar.KernelStats
+		if row.DenseSPS, _, err = measure(xbar.PathDense); err != nil {
+			return res, err
+		}
+		if row.SparseSPS, st, err = measure(xbar.PathSparse); err != nil {
+			return res, err
+		}
+		row.MeasuredDensity = st.Density()
+		if row.AutoSPS, _, err = measure(xbar.PathAuto); err != nil {
+			return res, err
+		}
+		if row.DenseSPS > 0 {
+			row.Speedup = row.SparseSPS / row.DenseSPS
+			row.AutoSpeedup = row.AutoSPS / row.DenseSPS
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunSparsityExperiment renders the sparse-kernel artifact; batch ≤ 0
+// uses the default micro-batch size. It backs fpsa-bench's "sparsity"
+// experiment and its -batch flag.
+func RunSparsityExperiment(ctx context.Context, batch int) (string, error) {
+	r, err := SparsityBench(ctx, SparsityBenchOptions{Batch: batch})
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
