@@ -1,0 +1,183 @@
+package fpsa
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// AutotuneBenchOptions shapes the compilation-autotuner experiment: the
+// same benchmark model tuned at several PE envelopes and objectives, all
+// searches sharing one compile cache so finalist sub-compiles are
+// memoized across the sweep.
+type AutotuneBenchOptions struct {
+	// Model is the benchmark model to tune. "" means LeNet — the
+	// committed workload with real per-layer reuse structure.
+	Model string
+	// Budgets lists the PE envelopes to sweep. nil means 480 and 700.
+	Budgets []int
+	// Objectives lists the objectives to tune for. nil means all three.
+	Objectives []Objective
+	// Refine is how many oracle finalists each search places & routes
+	// (the WithAutotuneRefine knob). 0 means 2; < 0 disables refinement.
+	Refine int
+	// Seed fixes the placement seed of the refinement compiles. 0 means 3.
+	Seed int64
+}
+
+func (o AutotuneBenchOptions) withDefaults() AutotuneBenchOptions {
+	if o.Model == "" {
+		o.Model = "LeNet"
+	}
+	if len(o.Budgets) == 0 {
+		o.Budgets = []int{480, 700}
+	}
+	if len(o.Objectives) == 0 {
+		o.Objectives = []Objective{MinLatency, MinEnergy, MaxThroughputPerChip}
+	}
+	if o.Refine == 0 {
+		o.Refine = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 3
+	}
+	return o
+}
+
+// AutotuneBenchRow is one (objective, budget) search's outcome: the best
+// uniform configuration inside the envelope versus the tuned assignment,
+// with the search's own accounting. Everything except SearchMS is
+// deterministic; SearchMS is the measured search wall-clock (oracle sweep
+// plus finalist place & route), which the memoized sub-compiles keep far
+// below a from-scratch compile per candidate.
+type AutotuneBenchRow struct {
+	Objective      string
+	Budget         int
+	BaselineDup    int
+	BaselinePEs    int
+	BaselineValue  float64
+	TunedPEs       int
+	TunedValue     float64
+	RoutedValue    float64
+	ImprovementPct float64
+	Chips          int
+	Candidates     int
+	Pruned         int
+	Evaluated      int
+	Refined        int
+	CacheHits      int64
+	CacheMisses    int64
+	SearchMS       float64
+}
+
+// AutotuneBenchResult reports the sweep. CacheHits/CacheMisses are the
+// shared compile cache's totals across every search — the cross-search
+// reuse the per-row deltas cannot show.
+type AutotuneBenchResult struct {
+	Options     AutotuneBenchOptions
+	GoMaxProcs  int
+	NumCPU      int
+	Rows        []AutotuneBenchRow
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// unitFor maps an objective name to its value unit in the rendering.
+func unitFor(objective string) string {
+	switch objective {
+	case MinEnergy.String():
+		return "uJ"
+	case MaxThroughputPerChip.String():
+		return "sps/chip"
+	}
+	return "us"
+}
+
+// String renders the result as a fpsa-bench artifact.
+func (r AutotuneBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compilation autotuner (%s, refine %d, shared compile cache)\n", r.Options.Model, r.Options.Refine)
+	fmt.Fprintf(&b, "  %-24s %-7s %-19s %-19s %-8s %-6s %-6s %-7s %-9s %s\n",
+		"objective", "budget", "uniform", "tuned", "gain", "cands", "eval", "pruned", "cache h/m", "search ms")
+	for _, row := range r.Rows {
+		unit := unitFor(row.Objective)
+		fmt.Fprintf(&b, "  %-24s %-7d %-19s %-19s %-8s %-6d %-6d %-7d %-9s %.1f\n",
+			row.Objective, row.Budget,
+			fmt.Sprintf("%.4g %s", row.BaselineValue, unit),
+			fmt.Sprintf("%.4g %s", row.TunedValue, unit),
+			fmt.Sprintf("%+.1f%%", row.ImprovementPct),
+			row.Candidates, row.Evaluated, row.Pruned,
+			fmt.Sprintf("%d/%d", row.CacheHits, row.CacheMisses),
+			row.SearchMS)
+	}
+	fmt.Fprintf(&b, "  (uniform = best WithDuplication sweep inside the same envelope; cache total %d hit / %d miss across the sweep)\n",
+		r.CacheHits, r.CacheMisses)
+	return b.String()
+}
+
+// AutotuneBench sweeps fpsa.Autotune over the requested PE envelopes and
+// objectives on one benchmark model, reporting tuned-versus-uniform
+// perf-model numbers and the search cost: wall-clock per search and the
+// compile-cache traffic that bounds it. All searches share one
+// CompileCache, so a finalist whose shard assignment already compiled —
+// in an earlier search or the same one — is a cache hit instead of a
+// fresh place & route; the per-row hit/miss deltas make that reuse
+// visible. Every reported value except SearchMS is deterministic for the
+// fixed seed. ctx bounds the searches.
+func AutotuneBench(ctx context.Context, opts AutotuneBenchOptions) (AutotuneBenchResult, error) {
+	opts = opts.withDefaults()
+	res := AutotuneBenchResult{Options: opts, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	m, err := LoadBenchmark(opts.Model)
+	if err != nil {
+		return res, err
+	}
+	refine := opts.Refine
+	if refine < 0 {
+		refine = 0
+	}
+	cache := NewCompileCache(0)
+	for _, budget := range opts.Budgets {
+		for _, obj := range opts.Objectives {
+			start := time.Now()
+			_, rep, err := Autotune(ctx, m, obj,
+				WithPEBudget(budget), WithAutotuneRefine(refine),
+				WithCache(cache), WithSeed(opts.Seed))
+			if err != nil {
+				return res, fmt.Errorf("autotune %v at %d PEs: %w", obj, budget, err)
+			}
+			res.Rows = append(res.Rows, AutotuneBenchRow{
+				Objective:      rep.Objective.String(),
+				Budget:         budget,
+				BaselineDup:    rep.BaselineDup,
+				BaselinePEs:    rep.BaselinePEs,
+				BaselineValue:  rep.BaselineValue,
+				TunedPEs:       rep.TunedPEs,
+				TunedValue:     rep.TunedValue,
+				RoutedValue:    rep.RoutedValue,
+				ImprovementPct: 100 * rep.Improvement,
+				Chips:          rep.Chips,
+				Candidates:     rep.Candidates,
+				Pruned:         rep.Pruned,
+				Evaluated:      rep.Evaluated,
+				Refined:        rep.Refined,
+				CacheHits:      rep.CacheHits,
+				CacheMisses:    rep.CacheMisses,
+				SearchMS:       float64(time.Since(start).Microseconds()) / 1e3,
+			})
+		}
+	}
+	res.CacheHits, res.CacheMisses = cache.Counters()
+	return res, nil
+}
+
+// RunAutotuneExperiment renders the compilation-autotuner artifact. It
+// backs fpsa-bench's "autotune" experiment.
+func RunAutotuneExperiment(ctx context.Context) (string, error) {
+	r, err := AutotuneBench(ctx, AutotuneBenchOptions{})
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

@@ -22,6 +22,11 @@ type BenchReport struct {
 	Serving    ServingBenchResult
 	Sharding   ShardingBenchResult
 	Sparsity   SparsityBenchResult
+	// Autotune is the compilation-autotuner sweep: tuned-vs-uniform
+	// perf-model numbers (deterministic, so comparable across runs
+	// without host-noise caveats) plus search wall-clock and compile-
+	// cache traffic.
+	Autotune AutotuneBenchResult
 }
 
 // JSON renders the report as indented JSON with a trailing newline.
@@ -51,46 +56,82 @@ func RunBenchReport(ctx context.Context, batch, samples int) (BenchReport, error
 		return rep, err
 	}
 	rep.Sparsity, err = SparsityBench(ctx, SparsityBenchOptions{Batch: batch, Samples: samples})
+	if err != nil {
+		return rep, err
+	}
+	rep.Autotune, err = AutotuneBench(ctx, AutotuneBenchOptions{})
 	return rep, err
 }
 
-// CompareBenchReports checks cur's serving throughput against a baseline
-// report and returns one message per metric that regressed by more than
-// tol (e.g. 0.10 = fail below 90% of baseline). Baseline metrics that
-// are zero or absent — an older snapshot without a newer experiment —
-// are skipped, so reports stay comparable across schema growth. Only
-// throughput regresses a report; speedup ratios shift with host load and
-// are informational.
-func CompareBenchReports(baseline, cur BenchReport, tol float64) []string {
-	var regressions []string
-	check := func(name string, base, now float64) {
+// CompareBenchReports checks cur against a baseline report and returns
+// one regression message per metric that dropped by more than tol (e.g.
+// 0.10 = fail below 90% of baseline): the serving-throughput families,
+// and the autotuner's tuned-vs-uniform improvement (deterministic, so a
+// drop there is an algorithm change, not host noise). Baseline metrics
+// that are zero or absent are skipped; a whole section the baseline
+// predates — an older snapshot without a newer experiment — degrades to
+// a warning instead of a failure, so reports stay comparable across
+// schema growth. Speedup ratios shift with host load and are
+// informational.
+func CompareBenchReports(baseline, cur BenchReport, tol float64) (regressions, warnings []string) {
+	check := func(name string, base, now float64, unit string) {
 		if base <= 0 {
 			return
 		}
 		if now < base*(1-tol) {
 			regressions = append(regressions,
-				fmt.Sprintf("%s regressed: %.1f -> %.1f samples/s (%.1f%% below baseline, tolerance %.0f%%)",
-					name, base, now, 100*(1-now/base), 100*tol))
+				fmt.Sprintf("%s regressed: %.1f -> %.1f %s (%.1f%% below baseline, tolerance %.0f%%)",
+					name, base, now, unit, 100*(1-now/base), 100*tol))
 		}
 	}
-	check("serving serial", baseline.Serving.SerialSPS, cur.Serving.SerialSPS)
-	check("serving batched", baseline.Serving.BatchedSPS, cur.Serving.BatchedSPS)
-	check("serving engine", baseline.Serving.EngineSPS, cur.Serving.EngineSPS)
-	for _, base := range baseline.Sharding.Rows {
-		for _, now := range cur.Sharding.Rows {
-			if now.RealChips == base.RealChips {
-				check(fmt.Sprintf("sharding %d-chip", base.RealChips), base.ThroughputSPS, now.ThroughputSPS)
-				break
+	section := func(name string, baseEmpty, curEmpty bool) bool {
+		if !baseEmpty {
+			return true
+		}
+		if !curEmpty {
+			warnings = append(warnings,
+				fmt.Sprintf("baseline has no %s section (older snapshot); skipping its checks", name))
+		}
+		return false
+	}
+	servingEmpty := func(r ServingBenchResult) bool {
+		return r.SerialSPS == 0 && r.BatchedSPS == 0 && r.EngineSPS == 0
+	}
+	if section("serving", servingEmpty(baseline.Serving), servingEmpty(cur.Serving)) {
+		check("serving serial", baseline.Serving.SerialSPS, cur.Serving.SerialSPS, "samples/s")
+		check("serving batched", baseline.Serving.BatchedSPS, cur.Serving.BatchedSPS, "samples/s")
+		check("serving engine", baseline.Serving.EngineSPS, cur.Serving.EngineSPS, "samples/s")
+	}
+	if section("sharding", len(baseline.Sharding.Rows) == 0, len(cur.Sharding.Rows) == 0) {
+		for _, base := range baseline.Sharding.Rows {
+			for _, now := range cur.Sharding.Rows {
+				if now.RealChips == base.RealChips {
+					check(fmt.Sprintf("sharding %d-chip", base.RealChips), base.ThroughputSPS, now.ThroughputSPS, "samples/s")
+					break
+				}
 			}
 		}
 	}
-	for _, base := range baseline.Sparsity.Rows {
-		for _, now := range cur.Sparsity.Rows {
-			if now.TargetDensity == base.TargetDensity {
-				check(fmt.Sprintf("sparsity d=%.2f sparse", base.TargetDensity), base.SparseSPS, now.SparseSPS)
-				break
+	if section("sparsity", len(baseline.Sparsity.Rows) == 0, len(cur.Sparsity.Rows) == 0) {
+		for _, base := range baseline.Sparsity.Rows {
+			for _, now := range cur.Sparsity.Rows {
+				if now.TargetDensity == base.TargetDensity {
+					check(fmt.Sprintf("sparsity d=%.2f sparse", base.TargetDensity), base.SparseSPS, now.SparseSPS, "samples/s")
+					break
+				}
 			}
 		}
 	}
-	return regressions
+	if section("autotune", len(baseline.Autotune.Rows) == 0, len(cur.Autotune.Rows) == 0) {
+		for _, base := range baseline.Autotune.Rows {
+			for _, now := range cur.Autotune.Rows {
+				if now.Objective == base.Objective && now.Budget == base.Budget {
+					check(fmt.Sprintf("autotune %s/%d improvement", base.Objective, base.Budget),
+						base.ImprovementPct, now.ImprovementPct, "% gain")
+					break
+				}
+			}
+		}
+	}
+	return regressions, warnings
 }

@@ -18,6 +18,10 @@ func compareFixture() BenchReport {
 			{TargetDensity: 0.05, SparseSPS: 5000},
 			{TargetDensity: 1.0, SparseSPS: 1200},
 		}},
+		Autotune: AutotuneBenchResult{Rows: []AutotuneBenchRow{
+			{Objective: "min-energy", Budget: 480, ImprovementPct: 42.0},
+			{Objective: "min-latency", Budget: 700, ImprovementPct: 28.0},
+		}},
 	}
 }
 
@@ -26,13 +30,14 @@ func compareFixture() BenchReport {
 func TestCompareBenchReportsClean(t *testing.T) {
 	base := compareFixture()
 	cur := compareFixture()
-	if regs := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
-		t.Fatalf("identical reports regressed: %v", regs)
+	if regs, warns := CompareBenchReports(base, cur, 0.10); len(regs) != 0 || len(warns) != 0 {
+		t.Fatalf("identical reports regressed: %v (warnings %v)", regs, warns)
 	}
 	// 5% below baseline is inside a 10% tolerance.
 	cur.Serving.EngineSPS = base.Serving.EngineSPS * 0.95
 	cur.Sparsity.Rows[0].SparseSPS = base.Sparsity.Rows[0].SparseSPS * 0.95
-	if regs := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
+	cur.Autotune.Rows[0].ImprovementPct = base.Autotune.Rows[0].ImprovementPct * 0.95
+	if regs, _ := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
 		t.Fatalf("within-tolerance drift regressed: %v", regs)
 	}
 }
@@ -44,15 +49,19 @@ func TestCompareBenchReportsClean(t *testing.T) {
 func TestCompareBenchReportsFlagsRegressions(t *testing.T) {
 	base := compareFixture()
 	cur := compareFixture()
-	cur.Serving.SerialSPS = 500            // -50%
-	cur.Sharding.Rows[1].ThroughputSPS = 1 // 2-chip row collapses
-	cur.Sparsity.Rows[0].SparseSPS = 100   // d=0.05 row collapses
-	regs := CompareBenchReports(base, cur, 0.10)
-	if len(regs) != 3 {
-		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	cur.Serving.SerialSPS = 500             // -50%
+	cur.Sharding.Rows[1].ThroughputSPS = 1  // 2-chip row collapses
+	cur.Sparsity.Rows[0].SparseSPS = 100    // d=0.05 row collapses
+	cur.Autotune.Rows[0].ImprovementPct = 2 // tuned gain collapses
+	regs, warns := CompareBenchReports(base, cur, 0.10)
+	if len(warns) != 0 {
+		t.Fatalf("complete baseline warned: %v", warns)
+	}
+	if len(regs) != 4 {
+		t.Fatalf("got %d regressions, want 4: %v", len(regs), regs)
 	}
 	joined := strings.Join(regs, "\n")
-	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05"} {
+	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05", "autotune min-energy/480"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("regressions missing %q:\n%s", want, joined)
 		}
@@ -69,14 +78,21 @@ func TestCompareBenchReportsSkipsAbsentBaselines(t *testing.T) {
 	cur := compareFixture()
 	cur.Serving.EngineSPS = 1 // would fail against any real baseline
 	cur.Sparsity.Rows[0].SparseSPS = 1
-	if regs := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
+	regs, warns := CompareBenchReports(base, cur, 0.10)
+	if len(regs) != 0 {
 		t.Fatalf("absent baseline metrics regressed: %v", regs)
+	}
+	// A whole section the baseline predates degrades to a warning — the
+	// graceful path for comparing an old snapshot against a newer report.
+	joined := strings.Join(warns, "\n")
+	if !strings.Contains(joined, "baseline has no sparsity section") {
+		t.Errorf("missing sparsity-section warning: %v", warns)
 	}
 	// Rows present in the baseline but missing from the fresh run are
 	// simply unmatched — the comparator only checks matched rows.
 	cur2 := compareFixture()
 	cur2.Sharding.Rows = cur2.Sharding.Rows[:1]
-	if regs := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 {
-		t.Fatalf("unmatched rows regressed: %v", regs)
+	if regs, warns := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 || len(warns) != 0 {
+		t.Fatalf("unmatched rows regressed: %v (warnings %v)", regs, warns)
 	}
 }

@@ -10,6 +10,7 @@
 //	fpsa-bench -exp serving -batch 32  # serving throughput at batch 32
 //	fpsa-bench -exp sharding           # 1/2/4-chip pipelined serving
 //	fpsa-bench -exp sparsity           # dense vs bit-packed sparse kernel
+//	fpsa-bench -exp autotune           # per-layer autotuner vs uniform sweep
 //	fpsa-bench -json -out BENCH.json   # machine-readable serving report
 //	fpsa-bench -baseline BENCH.json    # rerun and fail on regression
 //	fpsa-bench -list                   # show artifact IDs
@@ -101,7 +102,7 @@ func runBaseline(ctx context.Context, path string, batch, samples int, tol float
 	if err != nil {
 		return "", err
 	}
-	regressions := fpsa.CompareBenchReports(base, cur, tol)
+	regressions, warnings := fpsa.CompareBenchReports(base, cur, tol)
 	var b strings.Builder
 	fmt.Fprintf(&b, "baseline %s vs fresh run (batch %d, samples %d, tolerance %.0f%%)\n",
 		path, batch, samples, 100*tol)
@@ -109,6 +110,9 @@ func runBaseline(ctx context.Context, path string, batch, samples int, tol float
 		base.Serving.SerialSPS, cur.Serving.SerialSPS,
 		base.Serving.BatchedSPS, cur.Serving.BatchedSPS,
 		base.Serving.EngineSPS, cur.Serving.EngineSPS)
+	for _, w := range warnings {
+		fmt.Fprintf(&b, "  WARNING: %s\n", w)
+	}
 	if len(regressions) == 0 {
 		b.WriteString("  no regressions\n")
 		return b.String(), nil

@@ -16,6 +16,8 @@
 //	fpsa-compile -model LeNet -dup 4 -pnr -cache
 //	fpsa-compile -model MLP-500-100 -chips 2 -pnr
 //	fpsa-compile -model MLP-500-100 -chipcap 8 -chips 4
+//	fpsa-compile -model LeNet -autotune energy -pebudget 480
+//	fpsa-compile -model LeNet -autotune latency -pebudget 700 -pnr
 package main
 
 import (
@@ -40,6 +42,8 @@ func main() {
 	chips := flag.Int("chips", 1, "maximum chips to shard the deployment across (1 = single chip)")
 	chipcap := flag.Int("chipcap", 0, "per-chip PE capacity (0 = unbounded; with -chips, shards onto the fewest chips that fit)")
 	policyName := flag.String("policy", "auto", "shard partitioning policy: auto, mincut, or balanced")
+	autotune := flag.String("autotune", "", "search per-layer duplication and shard cuts for this objective (latency, energy, or throughput) instead of compiling -dup as given")
+	pebudget := flag.Int("pebudget", 0, "PE envelope for -autotune (0 = derive from -chipcap x -chips, else the uniform -dup spend)")
 	flag.Parse()
 	if *cache {
 		*pnr = true
@@ -69,9 +73,30 @@ func main() {
 		artifacts = fpsa.NewCompileCache(0)
 		opts = append(opts, fpsa.WithCache(artifacts))
 	}
-	d, err := fpsa.Compile(ctx, m, opts...)
-	if err != nil {
-		fail(err)
+	var d *fpsa.Deployment
+	if *autotune != "" {
+		objective, err := fpsa.ParseObjective(*autotune)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		tuned, report, err := fpsa.Autotune(ctx, m, objective,
+			append(opts, fpsa.WithPEBudget(*pebudget))...)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s  (search %.2fs)\n", report, time.Since(start).Seconds())
+		d = tuned
+	} else {
+		if *pebudget != 0 {
+			fmt.Fprintln(os.Stderr, "fpsa-compile: -pebudget only applies with -autotune")
+			os.Exit(1)
+		}
+		compiled, err := fpsa.Compile(ctx, m, opts...)
+		if err != nil {
+			fail(err)
+		}
+		d = compiled
 	}
 	groups, coreOps := d.CoreOps()
 	pes, smbs, clbs := d.Blocks()
@@ -103,9 +128,10 @@ func main() {
 		}
 		fmt.Printf("with routed hops: %s\n", routed)
 
-		if *cache {
+		if *cache && *autotune == "" {
 			// Redeploy the same model and options: the cache must serve
-			// the artifacts without annealing or routing again.
+			// the artifacts without annealing or routing again. (Under
+			// -autotune the search already reports its own cache traffic.)
 			d2, err := fpsa.Compile(ctx, m, opts...)
 			if err != nil {
 				fail(err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"fpsa/internal/bitstream"
@@ -32,6 +33,22 @@ type Config struct {
 	Duplication int
 	// Tracks overrides the routing channel width (0 = default 2048).
 	Tracks int
+	// LayerDup maps model layer names to per-layer duplication degrees,
+	// overriding Duplication for those layers' weight groups (clamped to
+	// each group's reuse degree). The autotuner's output; nil keeps the
+	// uniform Duplication policy bit-exact. See WithLayerDuplication.
+	LayerDup map[string]int
+	// LayerTracks maps model layer names to per-layer routing channel
+	// requirements. Each chip's channel width is the maximum requirement
+	// among the layers it hosts; a chip hosting any unassigned layer also
+	// honors the global Tracks (or its default). See WithLayerTracks.
+	LayerTracks map[string]int
+	// ShardCuts pins the multi-chip partition at exactly these group-chain
+	// cut positions (strictly increasing, each in (0, groups)), bypassing
+	// the partition search; len(ShardCuts)+1 chips result. The autotuner's
+	// shard candidates; empty keeps the searched partition. See
+	// WithShardCuts.
+	ShardCuts []int
 	// Seed drives placement annealing.
 	Seed int64
 	// PlacementSeeds is the size of the multi-seed annealing portfolio
@@ -78,6 +95,75 @@ type Config struct {
 // Deprecated: Compile without options compiles a 1× deployment on the
 // default fabric; there is nothing left to construct.
 func DefaultConfig() Config { return Config{Duplication: 1} }
+
+// validate rejects option inputs that cannot mean anything — negative
+// knobs, non-positive per-layer assignments, non-increasing cut lists —
+// before they flow silently into allocation or partitioning. Zero stays
+// "use the default" everywhere, as the option docs promise. Every
+// rejection wraps ErrInvalidArgument.
+func (c Config) validate() error {
+	for _, k := range []struct {
+		name string
+		v    int
+	}{
+		{"WithDuplication", c.Duplication},
+		{"WithTracks", c.Tracks},
+		{"WithPlacementSeeds", c.PlacementSeeds},
+		{"WithParallelism", c.Parallelism},
+		{"WithChips", c.MaxChips},
+		{"WithChipCapacity", c.ChipCapacity},
+	} {
+		if k.v < 0 {
+			return fmt.Errorf("%w: %s(%d): value must be ≥ 0 (0 = default)", ErrInvalidArgument, k.name, k.v)
+		}
+	}
+	for layer, dup := range c.LayerDup {
+		if dup < 1 {
+			return fmt.Errorf("%w: WithLayerDuplication: layer %q degree %d must be ≥ 1", ErrInvalidArgument, layer, dup)
+		}
+	}
+	for layer, tracks := range c.LayerTracks {
+		if tracks < 1 {
+			return fmt.Errorf("%w: WithLayerTracks: layer %q channel width %d must be ≥ 1", ErrInvalidArgument, layer, tracks)
+		}
+	}
+	for i, cut := range c.ShardCuts {
+		if cut < 1 {
+			return fmt.Errorf("%w: WithShardCuts: cut %d must be ≥ 1", ErrInvalidArgument, cut)
+		}
+		if i > 0 && cut <= c.ShardCuts[i-1] {
+			return fmt.Errorf("%w: WithShardCuts: cuts %v must be strictly increasing", ErrInvalidArgument, c.ShardCuts)
+		}
+	}
+	return nil
+}
+
+// checkLayerNames rejects per-layer assignments naming layers the
+// synthesized model does not have — a silent no-op otherwise, which for
+// an autotuned assignment would mean silently compiling the wrong thing.
+func checkLayerNames(co *coreop.Graph, cfg Config) error {
+	if len(cfg.LayerDup) == 0 && len(cfg.LayerTracks) == 0 {
+		return nil
+	}
+	layers := make(map[string]bool, len(co.Groups))
+	for _, grp := range co.Groups {
+		layers[grp.Layer] = true
+	}
+	for _, m := range []struct {
+		opt string
+		kv  map[string]int
+	}{
+		{"WithLayerDuplication", cfg.LayerDup},
+		{"WithLayerTracks", cfg.LayerTracks},
+	} {
+		for layer := range m.kv {
+			if !layers[layer] {
+				return fmt.Errorf("%w: %s: layer %q not in model", ErrInvalidArgument, m.opt, layer)
+			}
+		}
+	}
+	return nil
+}
 
 // Deployment is a model mapped onto the FPSA fabric.
 type Deployment struct {
@@ -164,6 +250,9 @@ func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, er
 	if err := m.valid(); err != nil {
 		return nil, err
 	}
+	if err := set.cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg := set.cfg
 	if cfg.Duplication <= 0 {
 		cfg.Duplication = 1
@@ -174,6 +263,10 @@ func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, er
 	if cfg.MaxChips <= 0 {
 		cfg.MaxChips = 1
 	}
+	if want := len(cfg.ShardCuts) + 1; want > 1 && cfg.MaxChips < want {
+		// Explicit cuts define the chip count; WithChips need not repeat it.
+		cfg.MaxChips = want
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -182,7 +275,10 @@ func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, er
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrModelInvalid, err)
 	}
-	alloc, err := mapper.Allocate(co, cfg.Duplication)
+	if err := checkLayerNames(co, cfg); err != nil {
+		return nil, err
+	}
+	alloc, err := mapper.AllocateAssigned(co, cfg.Duplication, cfg.LayerDup)
 	if err != nil {
 		// Allocation rejects resource requests the model cannot sustain
 		// (duplication beyond the maximum reuse degree).
@@ -219,70 +315,56 @@ func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, er
 func (d *Deployment) shardify() error {
 	groups := d.coreop.Groups
 	n := len(groups)
-	weights := make([]int, n)
-	for i := range groups {
-		weights[i] = d.alloc.Dup[i]
-	}
-	lastUse := make([]int, n)
-	hasDeps := make([]bool, n)
-	for i := range lastUse {
-		lastUse[i] = i
-	}
-	for vi, grp := range groups {
-		for _, ui := range grp.Deps {
-			if vi > lastUse[ui] {
-				lastUse[ui] = vi
-			}
-			hasDeps[vi] = true
+	weights, signals := shardChain(groups, d.alloc.Dup)
+	var plan *shard.Plan
+	if cuts := d.cfg.ShardCuts; len(cuts) > 0 {
+		// Pinned partition: the caller (typically the autotuner) chose the
+		// cut positions; only validate and account them.
+		bounds := make([]int, 0, len(cuts)+2)
+		bounds = append(bounds, 0)
+		bounds = append(bounds, cuts...)
+		bounds = append(bounds, n)
+		if cuts[len(cuts)-1] >= n {
+			return fmt.Errorf("%w: WithShardCuts: cut %d outside the %d-group chain", ErrInvalidArgument, cuts[len(cuts)-1], n)
 		}
-	}
-	var signals []shard.Signal
-	for i, grp := range groups {
-		// Per-sample value traffic out of the group; consumer-less
-		// groups carry the model's outputs off the last chip.
-		last := lastUse[i]
-		if last == i {
-			last = n - 1
-		}
-		signals = append(signals, shard.Signal{Prod: i, Last: last, Width: grp.Reuse * grp.Cols})
-		if !hasDeps[i] {
-			// External model input must reach this group's chip.
-			signals = append(signals, shard.Signal{Prod: -1, Last: i, Width: grp.Rows})
-		}
-	}
-	policy, err := d.cfg.ShardPolicy.compilePolicy()
-	if err != nil {
-		return err
-	}
-
-	maxChips := d.cfg.MaxChips
-	if maxChips > n {
-		maxChips = n
-	}
-	minChips := 1
-	if cap := d.cfg.ChipCapacity; cap > 0 {
-		minChips = (d.alloc.TotalPEs + cap - 1) / cap
-		if minChips > maxChips {
-			return fmt.Errorf("%w: model %s needs %d PEs — at least %d chips of capacity %d — but WithChips allows %d",
-				ErrCapacity, d.model.Name(), d.alloc.TotalPEs, minChips, d.cfg.ChipCapacity, d.cfg.MaxChips)
+		var err error
+		plan, err = shard.PlanFromBounds(weights, signals, bounds, d.cfg.ChipCapacity)
+		if err != nil {
+			return fmt.Errorf("%w: cannot shard %s at cuts %v: %w", ErrCapacity, d.model.Name(), cuts, err)
 		}
 	} else {
-		// No capacity bound: the user asked for this many chips.
-		minChips = maxChips
-	}
-	var plan *shard.Plan
-	for k := minChips; k <= maxChips; k++ {
-		plan, err = shard.Partition(weights, signals, nil, shard.Options{
-			Chips:    k,
-			Capacity: d.cfg.ChipCapacity,
-			Policy:   policy,
-		})
-		if err == nil {
-			break
+		policy, err := d.cfg.ShardPolicy.compilePolicy()
+		if err != nil {
+			return err
 		}
-	}
-	if err != nil {
-		return fmt.Errorf("%w: cannot shard %s across ≤ %d chips: %w", ErrCapacity, d.model.Name(), maxChips, err)
+		maxChips := d.cfg.MaxChips
+		if maxChips > n {
+			maxChips = n
+		}
+		minChips := 1
+		if cap := d.cfg.ChipCapacity; cap > 0 {
+			minChips = (d.alloc.TotalPEs + cap - 1) / cap
+			if minChips > maxChips {
+				return fmt.Errorf("%w: model %s needs %d PEs — at least %d chips of capacity %d — but WithChips allows %d",
+					ErrCapacity, d.model.Name(), d.alloc.TotalPEs, minChips, d.cfg.ChipCapacity, d.cfg.MaxChips)
+			}
+		} else {
+			// No capacity bound: the user asked for this many chips.
+			minChips = maxChips
+		}
+		for k := minChips; k <= maxChips; k++ {
+			plan, err = shard.Partition(weights, signals, nil, shard.Options{
+				Chips:    k,
+				Capacity: d.cfg.ChipCapacity,
+				Policy:   policy,
+			})
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%w: cannot shard %s across ≤ %d chips: %w", ErrCapacity, d.model.Name(), maxChips, err)
+		}
 	}
 	if plan.Chips() == 1 {
 		// Degenerate request (one group, or MaxChips clamped to 1):
@@ -325,6 +407,46 @@ func (d *Deployment) shardify() error {
 		d.shards[k] = &deployShard{lo: lo, hi: hi, co: sub, alloc: alloc, nl: nl}
 	}
 	return nil
+}
+
+// shardChain derives the chain partitioner's inputs from a core-op group
+// list and its per-group duplication vector: per-group PE load, and the
+// signal chain — a producer's per-sample output traffic (reuse × columns)
+// charged on every link it crosses, external model input reaching the
+// first consumer's chip, consumer-less outputs carried off the last chip.
+// Shared by shardify and the autotuner's cut candidates so a searched cut
+// is accounted exactly like a compiled one.
+func shardChain(groups []*coreop.Group, dup []int) (weights []int, signals []shard.Signal) {
+	n := len(groups)
+	weights = make([]int, n)
+	copy(weights, dup)
+	lastUse := make([]int, n)
+	hasDeps := make([]bool, n)
+	for i := range lastUse {
+		lastUse[i] = i
+	}
+	for vi, grp := range groups {
+		for _, ui := range grp.Deps {
+			if vi > lastUse[ui] {
+				lastUse[ui] = vi
+			}
+			hasDeps[vi] = true
+		}
+	}
+	for i, grp := range groups {
+		// Per-sample value traffic out of the group; consumer-less
+		// groups carry the model's outputs off the last chip.
+		last := lastUse[i]
+		if last == i {
+			last = n - 1
+		}
+		signals = append(signals, shard.Signal{Prod: i, Last: last, Width: grp.Reuse * grp.Cols})
+		if !hasDeps[i] {
+			// External model input must reach this group's chip.
+			signals = append(signals, shard.Signal{Prod: -1, Last: i, Width: grp.Rows})
+		}
+	}
+	return weights, signals
 }
 
 // Blocks returns the function-block inventory (summed over every chip of
@@ -408,6 +530,7 @@ func (d *Deployment) PerformanceWithHops(hops int) (PerfSummary, error) {
 		CoreOps: d.coreop,
 		Params:  d.params,
 		Dup:     d.cfg.Duplication,
+		Assign:  d.alloc.Dup,
 		Hops:    hops,
 	}
 	if d.plan != nil {
@@ -606,12 +729,13 @@ func (d *Deployment) PlaceAndRoute(ctx context.Context) (PRStats, error) {
 	var art *compilecache.Artifacts
 	var hit bool
 	var err error
+	tracks := d.tracksForRange(0, len(d.coreop.Groups))
 	if d.cfg.Cache != nil {
 		art, hit, err = getOrComputeCtx(ctx, d.cfg.Cache, d.cacheKey(-1), func() (*compilecache.Artifacts, error) {
-			return d.placeAndRoute(ctx, d.nl)
+			return d.placeAndRoute(ctx, d.nl, tracks)
 		})
 	} else {
-		art, err = d.placeAndRoute(ctx, d.nl)
+		art, err = d.placeAndRoute(ctx, d.nl, tracks)
 	}
 	if err != nil {
 		return PRStats{}, err
@@ -649,12 +773,13 @@ func (d *Deployment) placeAndRouteShards(ctx context.Context) (PRStats, error) {
 		go func(k int, sh *deployShard) {
 			defer wg.Done()
 			var r result
+			tracks := d.tracksForRange(sh.lo, sh.hi)
 			if d.cfg.Cache != nil {
 				r.art, r.hit, r.err = getOrComputeCtx(ctx, d.cfg.Cache, d.cacheKey(k), func() (*compilecache.Artifacts, error) {
-					return d.placeAndRoute(ctx, sh.nl)
+					return d.placeAndRoute(ctx, sh.nl, tracks)
 				})
 			} else {
-				r.art, r.err = d.placeAndRoute(ctx, sh.nl)
+				r.art, r.err = d.placeAndRoute(ctx, sh.nl, tracks)
 			}
 			results[k] = r
 		}(k, sh)
@@ -719,10 +844,11 @@ func getOrComputeCtx(ctx context.Context, cache *CompileCache, key compilecache.
 
 // placeAndRoute is the uncached compile back end for one netlist (the
 // whole deployment, or one shard of it): portfolio placement then
-// routing, packaged as cacheable artifacts. ctx aborts either phase at
-// its next checkpoint.
-func (d *Deployment) placeAndRoute(ctx context.Context, nl *netlist.Netlist) (*compilecache.Artifacts, error) {
-	chip, err := fabric.SizeFor(len(nl.Blocks), d.cfg.Tracks, d.params)
+// routing, packaged as cacheable artifacts. tracks is the chip's routing
+// channel width (0 = default; see tracksForRange for the per-layer
+// resolution). ctx aborts either phase at its next checkpoint.
+func (d *Deployment) placeAndRoute(ctx context.Context, nl *netlist.Netlist, tracks int) (*compilecache.Artifacts, error) {
+	chip, err := fabric.SizeFor(len(nl.Blocks), tracks, d.params)
 	if err != nil {
 		return nil, err
 	}
@@ -750,21 +876,68 @@ func (d *Deployment) placeAndRoute(ctx context.Context, nl *netlist.Netlist) (*c
 	}, nil
 }
 
-// cacheKey is the deployment's content address: the model-structure
-// fingerprint plus every Config field that changes compile output.
-// Parallelism is deliberately absent — it never changes results — so one
-// cache serves machines of any size. shardIdx < 0 addresses a
-// single-chip deployment with the historical key. A shard is addressed
-// by its group range: that range (with the fields above) fully
-// determines the chip's netlist, so MaxChips/ChipCapacity/ShardPolicy
-// stay out of the key and re-partitioning at different knobs re-uses
-// every chip whose group range is unchanged.
-func (d *Deployment) cacheKey(shardIdx int) compilecache.Key {
-	cfg := fmt.Sprintf("dup=%d|tracks=%d|seed=%d|pseeds=%d",
-		d.cfg.Duplication, d.cfg.Tracks, d.cfg.Seed, d.cfg.PlacementSeeds)
-	if shardIdx >= 0 {
-		sh := d.shards[shardIdx]
-		cfg += fmt.Sprintf("|shardgroups=%d:%d", sh.lo, sh.hi)
+// tracksForRange resolves the routing channel width for the chip hosting
+// groups [lo, hi): the maximum per-layer requirement among its layers,
+// and — when the chip hosts any layer without an assignment, or no
+// per-layer tracks were given at all — at least the global Tracks
+// (0 = the fabric default). A chip whose layers are all assigned is
+// sized purely by them, which is how the autotuner narrows channels
+// below the generous default.
+func (d *Deployment) tracksForRange(lo, hi int) int {
+	if len(d.cfg.LayerTracks) == 0 {
+		return d.cfg.Tracks
 	}
-	return compilecache.KeyFrom(d.model.graph.Fingerprint(), cfg)
+	t := 0
+	uncovered := false
+	for _, grp := range d.coreop.Groups[lo:hi] {
+		v, ok := d.cfg.LayerTracks[grp.Layer]
+		if !ok {
+			uncovered = true
+			continue
+		}
+		if v > t {
+			t = v
+		}
+	}
+	if uncovered || t == 0 {
+		base := d.cfg.Tracks
+		if base <= 0 {
+			base = fabric.DefaultTracks
+		}
+		if base > t {
+			t = base
+		}
+	}
+	return t
+}
+
+// cacheKey is one chip's content address: the model-structure
+// fingerprint, the per-group duplication sub-vector and resolved channel
+// width of that chip, and the annealing seed knobs. Parallelism is
+// deliberately absent — it never changes results — so one cache serves
+// machines of any size; so are the knobs that merely *selected* the
+// assignment (Duplication, LayerDup, MaxChips, ChipCapacity, ShardPolicy,
+// ShardCuts): the netlist is fully determined by the group range and its
+// duplication vector, so two compiles that land on the same per-chip
+// assignment — a uniform knob, an explicit per-layer map, or two
+// autotuner candidates sharing a shard — hit the same entry. shardIdx < 0
+// addresses a single-chip deployment.
+func (d *Deployment) cacheKey(shardIdx int) compilecache.Key {
+	lo, hi := 0, len(d.coreop.Groups)
+	if shardIdx >= 0 {
+		lo, hi = d.shards[shardIdx].lo, d.shards[shardIdx].hi
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dups=")
+	for i, v := range d.alloc.Dup[lo:hi] {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	fmt.Fprintf(&b, "|tracks=%d|seed=%d|pseeds=%d", d.tracksForRange(lo, hi), d.cfg.Seed, d.cfg.PlacementSeeds)
+	if shardIdx >= 0 {
+		fmt.Fprintf(&b, "|shardgroups=%d:%d", lo, hi)
+	}
+	return compilecache.KeyFrom(d.model.graph.Fingerprint(), b.String())
 }

@@ -159,7 +159,7 @@ func TestCacheJoinerRetriesOthersCancellation(t *testing.T) {
 		if calls == 1 {
 			return nil, context.DeadlineExceeded // another caller's expiry
 		}
-		return d.placeAndRoute(context.Background(), d.nl)
+		return d.placeAndRoute(context.Background(), d.nl, d.cfg.Tracks)
 	})
 	if err != nil || art == nil {
 		t.Fatalf("joiner inherited a foreign cancellation: %v", err)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"fpsa/internal/serve"
@@ -86,6 +87,31 @@ func NewEngine(sn *SpikingNet, cfg EngineConfig) (*Engine, error) {
 // is the stage-partitioning objective of a sharded engine (carried from
 // the deployment's ShardPolicy on the Deployment.NewEngine path).
 func newEngine(sn *SpikingNet, cfg EngineConfig, policy serve.StagePolicy) (*Engine, error) {
+	// A nonsensical density cutoff would otherwise flow silently into the
+	// kernel auto-selection (which treats out-of-range as "default") —
+	// reject it here where the caller can still see which option was
+	// wrong. 0 remains "use the built-in default".
+	if t := cfg.SparseThreshold; math.IsNaN(t) || t < 0 || t > 1 {
+		return nil, fmt.Errorf("%w: WithSparseThreshold(%v): density cutoff must be in (0, 1] (0 = default)", ErrInvalidArgument, t)
+	}
+	// Same treatment for the integer serving knobs: negative values are
+	// caller bugs, not requests for the default.
+	for _, k := range []struct {
+		name string
+		v    int
+	}{
+		{"WithWorkers", cfg.Workers},
+		{"WithMaxBatch", cfg.MaxBatch},
+		{"WithQueueDepth", cfg.QueueDepth},
+		{"WithEngineChips", cfg.Chips},
+	} {
+		if k.v < 0 {
+			return nil, fmt.Errorf("%w: %s(%d): value must be ≥ 0 (0 = default)", ErrInvalidArgument, k.name, k.v)
+		}
+	}
+	if cfg.FlushInterval < 0 {
+		return nil, fmt.Errorf("%w: WithFlushInterval(%v): interval must be ≥ 0 (0 = default)", ErrInvalidArgument, cfg.FlushInterval)
+	}
 	mode, err := cfg.Mode.synthMode()
 	if err != nil {
 		return nil, err

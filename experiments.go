@@ -11,15 +11,15 @@ import (
 )
 
 // ExperimentIDs lists the reproducible paper artifacts plus the ablation
-// studies grounded in the paper's §7 discussion and the measured serving
+// studies grounded in the paper's §7 discussion, the measured serving
 // artifacts ("serving", "sharding" and "sparsity", tunable via
-// fpsa-bench -batch).
+// fpsa-bench -batch), and the compilation-autotuner sweep ("autotune").
 func ExperimentIDs() []string {
 	ids := []string{
 		"table1", "table2", "table3",
 		"figure2", "figure6", "figure7", "figure8", "figure9",
 		"ablation-transmission", "ablation-channels", "ablation-heteropes",
-		"serving", "sharding", "sparsity",
+		"serving", "sharding", "sparsity", "autotune",
 	}
 	sort.Strings(ids)
 	return ids
@@ -88,6 +88,8 @@ func RunExperiment(ctx context.Context, id string) (string, error) {
 		return RunShardingExperiment(ctx, 0)
 	case "sparsity":
 		return RunSparsityExperiment(ctx, 0)
+	case "autotune":
+		return RunAutotuneExperiment(ctx)
 	case "ablation-heteropes":
 		rows, err := experiments.AblationHeteroPEs(64)
 		if err != nil {

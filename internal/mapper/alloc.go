@@ -7,6 +7,7 @@ package mapper
 
 import (
 	"fmt"
+	"sort"
 
 	"fpsa/internal/coreop"
 )
@@ -30,11 +31,40 @@ type Allocation struct {
 // modelDup copies, and every group receives just enough duplicates to meet
 // it (never more copies than its reuse degree can use).
 func Allocate(g *coreop.Graph, modelDup int) (Allocation, error) {
+	return AllocateAssigned(g, modelDup, nil)
+}
+
+// AllocateAssigned is Allocate with per-layer overrides: every group whose
+// Layer appears in layerDup receives that duplication degree (clamped to
+// its reuse degree — extra copies a group cannot use are not spent),
+// while the remaining groups follow the uniform modelDup policy. A nil or
+// empty layerDup is exactly Allocate. Overrides must name layers that
+// exist in the graph and be ≥ 1.
+func AllocateAssigned(g *coreop.Graph, modelDup int, layerDup map[string]int) (Allocation, error) {
 	if modelDup < 1 {
 		return Allocation{}, fmt.Errorf("mapper: duplication degree %d must be ≥1", modelDup)
 	}
 	if len(g.Groups) == 0 {
 		return Allocation{}, fmt.Errorf("mapper: empty core-op graph")
+	}
+	if len(layerDup) > 0 {
+		layers := make(map[string]bool, len(g.Groups))
+		for _, grp := range g.Groups {
+			layers[grp.Layer] = true
+		}
+		names := make([]string, 0, len(layerDup))
+		for name := range layerDup { //fpsa:nondet collects keys; sorted below
+			names = append(names, name)
+		}
+		sort.Strings(names) // deterministic error selection
+		for _, name := range names {
+			if dup := layerDup[name]; dup < 1 {
+				return Allocation{}, fmt.Errorf("mapper: layer %q duplication degree %d must be ≥1", name, dup)
+			}
+			if !layers[name] {
+				return Allocation{}, fmt.Errorf("mapper: layer %q not in model", name)
+			}
+		}
 	}
 	maxReuse := g.MaxReuse()
 	if modelDup > maxReuse {
@@ -48,6 +78,9 @@ func Allocate(g *coreop.Graph, modelDup int) (Allocation, error) {
 	}
 	for i, grp := range g.Groups {
 		dup := ceilDiv(grp.Reuse, target)
+		if v, ok := layerDup[grp.Layer]; ok {
+			dup = v
+		}
 		if dup < 1 {
 			dup = 1
 		}
@@ -57,6 +90,40 @@ func Allocate(g *coreop.Graph, modelDup int) (Allocation, error) {
 		a.Dup[i] = dup
 		a.Iterations[i] = ceilDiv(grp.Reuse, dup)
 		a.TotalPEs += dup
+	}
+	return a, nil
+}
+
+// AllocateVector builds an Allocation from an explicit per-group
+// duplication vector (clamped to each group's reuse degree). It is the
+// form the autotuner's cost oracle evaluates: candidates are per-group
+// assignments, not a single knob. ModelDup records the maximum assigned
+// degree so downstream consumers see a meaningful summary value.
+func AllocateVector(g *coreop.Graph, dup []int) (Allocation, error) {
+	if len(g.Groups) == 0 {
+		return Allocation{}, fmt.Errorf("mapper: empty core-op graph")
+	}
+	if len(dup) != len(g.Groups) {
+		return Allocation{}, fmt.Errorf("mapper: duplication vector has %d entries for %d groups", len(dup), len(g.Groups))
+	}
+	a := Allocation{
+		Dup:        make([]int, len(g.Groups)),
+		Iterations: make([]int, len(g.Groups)),
+	}
+	for i, grp := range g.Groups {
+		d := dup[i]
+		if d < 1 {
+			return Allocation{}, fmt.Errorf("mapper: group %d duplication degree %d must be ≥1", i, d)
+		}
+		if d > grp.Reuse {
+			d = grp.Reuse
+		}
+		a.Dup[i] = d
+		a.Iterations[i] = ceilDiv(grp.Reuse, d)
+		a.TotalPEs += d
+		if d > a.ModelDup {
+			a.ModelDup = d
+		}
 	}
 	return a, nil
 }

@@ -1,0 +1,145 @@
+package perf
+
+import (
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/mapper"
+	"fpsa/internal/models"
+	"fpsa/internal/synth"
+)
+
+// The autotuner trusts two order properties of the cost oracle: spending
+// more duplication never slows the modeled pipeline down, and cutting a
+// deployment across more chips never makes the links cheaper. These pin
+// them so a model refactor cannot silently invert a search gradient.
+
+// TestLatencyMonotoneInDuplication: raising the uniform duplication
+// degree (within the model's reuse ceiling, so the replication rule
+// stays out of play) never increases single-sample latency — more
+// copies mean fewer serial iterations per group, never more.
+func TestLatencyMonotoneInDuplication(t *testing.T) {
+	for _, name := range []string{models.NameLeNet, models.NameVGG17} {
+		prev := -1.0
+		for _, dup := range []int{1, 2, 4, 8, 16, 32} {
+			r := evalModel(t, name, dup, TargetFPSA)
+			if prev >= 0 && r.LatencyUS > prev*1.0001 {
+				t.Errorf("%s: latency rose from %.3fus to %.3fus when dup doubled to %d",
+					name, prev, r.LatencyUS, dup)
+			}
+			prev = r.LatencyUS
+		}
+	}
+}
+
+// TestLatencyMonotoneInAssign: bumping any single group's explicit
+// per-group duplication entry by one never increases modeled latency —
+// the per-layer gradient the search climbs.
+func TestLatencyMonotoneInAssign(t *testing.T) {
+	g, err := models.ByName(models.NameLeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := synth.Synthesize(g, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(assign []int) Report {
+		t.Helper()
+		r, err := Evaluate(Input{Model: g, CoreOps: co, Params: device.Params45nm, Dup: 1, Assign: assign}, TargetFPSA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := make([]int, len(co.Groups))
+	for i := range base {
+		base[i] = 1
+	}
+	r0 := eval(base)
+	for i, grp := range co.Groups {
+		if grp.Reuse < 2 {
+			continue // already saturated; +1 would just clamp back
+		}
+		bumped := append([]int(nil), base...)
+		bumped[i] = 2
+		if r := eval(bumped); r.LatencyUS > r0.LatencyUS*1.0001 {
+			t.Errorf("group %d (%s): latency rose from %.3fus to %.3fus on +1 duplication",
+				i, grp.Layer, r0.LatencyUS, r.LatencyUS)
+		}
+	}
+}
+
+// TestLinkCostMonotoneInCuts: every added inter-chip cut adds link
+// traffic — LinkNSPerSample and latency never decrease as the cut list
+// grows, and the chip count tracks the cuts exactly.
+func TestLinkCostMonotoneInCuts(t *testing.T) {
+	g, err := models.ByName(models.NameLeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := synth.Synthesize(g, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(cuts []int) Report {
+		t.Helper()
+		r, err := Evaluate(Input{Model: g, CoreOps: co, Params: device.Params45nm, Dup: 1, CutWidths: cuts}, TargetFPSA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	prevLink, prevLat := -1.0, -1.0
+	for i, cuts := range [][]int{nil, {800}, {800, 1500}, {800, 1500, 400}} {
+		r := eval(cuts)
+		if r.Chips != 1+len(cuts) {
+			t.Errorf("cuts %v: Chips = %d, want %d", cuts, r.Chips, 1+len(cuts))
+		}
+		if i == 0 && r.LinkNSPerSample != 0 {
+			t.Errorf("single chip charged %v ns of link time", r.LinkNSPerSample)
+		}
+		if r.LinkNSPerSample < prevLink {
+			t.Errorf("cuts %v: link cost fell from %.1fns to %.1fns", cuts, prevLink, r.LinkNSPerSample)
+		}
+		if r.LatencyUS < prevLat {
+			t.Errorf("cuts %v: latency fell from %.3fus to %.3fus", cuts, prevLat, r.LatencyUS)
+		}
+		prevLink, prevLat = r.LinkNSPerSample, r.LatencyUS
+	}
+	// A wider cut costs at least as much as a narrower one.
+	if narrow, wide := eval([]int{100}), eval([]int{10000}); wide.LinkNSPerSample < narrow.LinkNSPerSample {
+		t.Errorf("wider cut cheaper: %v < %v", wide.LinkNSPerSample, narrow.LinkNSPerSample)
+	}
+}
+
+// TestAssignUniformMatchesDup: an explicit Assign vector spelling the
+// uniform allocation is bit-exact with the classic Dup-derived path —
+// the oracle-level face of the compile-level equivalence property.
+func TestAssignUniformMatchesDup(t *testing.T) {
+	g, err := models.ByName(models.NameLeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := synth.Synthesize(g, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dup := range []int{1, 4, 16} {
+		uniform, err := Evaluate(Input{Model: g, CoreOps: co, Params: device.Params45nm, Dup: dup}, TargetFPSA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := mapper.Allocate(co, dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign, err := Evaluate(Input{Model: g, CoreOps: co, Params: device.Params45nm, Dup: dup, Assign: alloc.Dup}, TargetFPSA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uniform != assign {
+			t.Errorf("dup %d: uniform and explicit-assign reports differ:\n%+v\n%+v", dup, uniform, assign)
+		}
+	}
+}

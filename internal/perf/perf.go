@@ -65,6 +65,13 @@ type Input struct {
 	Params device.Params
 	// Dup is the model duplication degree (§5.2).
 	Dup int
+	// Assign, when non-empty, is an explicit per-group duplication vector
+	// (one entry per CoreOps group, each ≥ 1, clamped to that group's
+	// reuse degree). It overrides the uniform Dup-derived allocation and
+	// is how the autotuner scores per-layer candidates; Dup then only
+	// feeds the whole-model replication rule below. Empty keeps the
+	// classic uniform allocation bit-exact.
+	Assign []int
 	// Hops is the mean routed hop count for FPSA-fabric targets; 0 uses
 	// Params.TypicalRouteHops (annealed pipeline placements keep
 	// connected blocks adjacent, so the value is size-independent — the
@@ -126,7 +133,7 @@ func Evaluate(in Input, target Target) (Report, error) {
 		return Report{}, fmt.Errorf("perf: duplication degree %d", in.Dup)
 	}
 	p := in.Params
-	alloc, err := mapper.Allocate(in.CoreOps, in.Dup)
+	alloc, err := allocFor(in)
 	if err != nil {
 		return Report{}, err
 	}
@@ -303,10 +310,19 @@ func criticalFillNS(g *coreop.Graph, a mapper.Allocation, stageNS, fillCycleNS f
 	return best
 }
 
+// allocFor resolves the evaluation's allocation: the explicit per-group
+// Assign vector when given, the uniform Dup-derived policy otherwise.
+func allocFor(in Input) (mapper.Allocation, error) {
+	if len(in.Assign) > 0 {
+		return mapper.AllocateVector(in.CoreOps, in.Assign)
+	}
+	return mapper.Allocate(in.CoreOps, in.Dup)
+}
+
 // NetlistFor exposes the netlist the report's inventory came from, for
 // callers that also place & route it.
 func NetlistFor(in Input) (*netlist.Netlist, mapper.Allocation, error) {
-	alloc, err := mapper.Allocate(in.CoreOps, in.Dup)
+	alloc, err := allocFor(in)
 	if err != nil {
 		return nil, mapper.Allocation{}, err
 	}

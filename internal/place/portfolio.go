@@ -104,7 +104,7 @@ func Portfolio(ctx context.Context, nl *netlist.Netlist, chip fabric.Chip, baseS
 		anns[i] = a
 	}
 
-	pool := newRunPool(opts.Workers)
+	pool := NewPool(opts.Workers)
 	cancelled := make([]bool, runs)
 	active := make([]int, runs)
 	for i := range active {
@@ -112,7 +112,7 @@ func Portfolio(ctx context.Context, nl *netlist.Netlist, chip fabric.Chip, baseS
 	}
 
 	for len(active) > 0 {
-		pool.each(active, func(i int) { anns[i].run(ctx, segment) })
+		pool.Each(active, func(i int) { anns[i].run(ctx, segment) })
 		if err := ctx.Err(); err != nil {
 			return nil, PortfolioStats{}, err
 		}
@@ -170,19 +170,25 @@ func Portfolio(ctx context.Context, nl *netlist.Netlist, chip fabric.Chip, baseS
 	return best, stats, nil
 }
 
-// runPool executes per-run closures on a bounded worker pool.
-type runPool struct{ workers int }
+// Pool executes per-index closures on a bounded worker pool. It is the
+// portfolio's wave-synchronous parallelism primitive, exported so other
+// deterministic searches (the autotuner's candidate evaluation) run on
+// the same pattern: parallel inside a wave, a barrier between waves, so
+// every cross-candidate decision depends only on completed waves and the
+// result is identical at any worker count.
+type Pool struct{ workers int }
 
-func newRunPool(workers int) *runPool {
+// NewPool sizes a pool (≤ 0 = GOMAXPROCS).
+func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &runPool{workers: workers}
+	return &Pool{workers: workers}
 }
 
-// each calls f(i) for every index in ids, at most workers at a time, and
+// Each calls f(i) for every index in ids, at most workers at a time, and
 // waits for all of them.
-func (p *runPool) each(ids []int, f func(i int)) {
+func (p *Pool) Each(ids []int, f func(i int)) {
 	if p.workers == 1 || len(ids) == 1 {
 		for _, i := range ids {
 			f(i)

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanFromBoundsMatchesPartition: replaying a searched plan's bounds
+// reproduces its loads and cut traffic exactly — the property that makes
+// the autotuner's pinned cuts interchangeable with searched ones.
+func TestPlanFromBoundsMatchesPartition(t *testing.T) {
+	weights := []int{3, 1, 2, 2, 4}
+	signals := []Signal{
+		{Prod: 0, Last: 2, Width: 7},
+		{Prod: 1, Last: 4, Width: 2},
+		{Prod: 3, Last: 4, Width: 5},
+	}
+	searched, err := Partition(weights, signals, nil, Options{Chips: 3, Policy: PolicyMinCut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := PlanFromBounds(weights, signals, searched.Bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(searched, replayed) {
+		t.Errorf("replayed plan differs:\nsearched %+v\nreplayed %+v", searched, replayed)
+	}
+}
+
+// TestPlanFromBoundsAccounting: loads are segment weight sums and each
+// cut is charged every signal alive across it.
+func TestPlanFromBoundsAccounting(t *testing.T) {
+	weights := []int{1, 2, 3, 4}
+	signals := []Signal{
+		{Prod: 0, Last: 3, Width: 5}, // alive over both cuts
+		{Prod: 1, Last: 2, Width: 9}, // alive over the second cut only
+	}
+	p, err := PlanFromBounds(weights, signals, []int{0, 2, 3, 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Loads, []int{3, 3, 4}) {
+		t.Errorf("Loads = %v, want [3 3 4]", p.Loads)
+	}
+	if !reflect.DeepEqual(p.CutTraffic, []int{14, 5}) {
+		t.Errorf("CutTraffic = %v, want [14 5]", p.CutTraffic)
+	}
+}
+
+// TestPlanFromBoundsErrors: malformed bounds, negative weights, signals
+// outside the chain, and capacity violations are all rejected.
+func TestPlanFromBoundsErrors(t *testing.T) {
+	weights := []int{1, 2, 3}
+	cases := []struct {
+		name     string
+		weights  []int
+		signals  []Signal
+		bounds   []int
+		capacity int
+	}{
+		{"empty chain", nil, nil, []int{0}, 0},
+		{"bounds not from 0", weights, nil, []int{1, 3}, 0},
+		{"bounds not to n", weights, nil, []int{0, 2}, 0},
+		{"non-increasing", weights, nil, []int{0, 2, 2, 3}, 0},
+		{"decreasing", weights, nil, []int{0, 2, 1, 3}, 0},
+		{"negative weight", []int{1, -2, 3}, nil, []int{0, 3}, 0},
+		{"signal out of range", weights, []Signal{{Prod: 0, Last: 5, Width: 1}}, []int{0, 3}, 0},
+		{"negative signal width", weights, []Signal{{Prod: 0, Last: 1, Width: -1}}, []int{0, 3}, 0},
+		{"segment over capacity", weights, nil, []int{0, 3}, 5},
+	}
+	for _, tc := range cases {
+		if _, err := PlanFromBounds(tc.weights, tc.signals, tc.bounds, tc.capacity); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The capacity gate passes when every segment fits.
+	if _, err := PlanFromBounds(weights, nil, []int{0, 2, 3}, 3); err != nil {
+		t.Errorf("legal capacity rejected: %v", err)
+	}
+}

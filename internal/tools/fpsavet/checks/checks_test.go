@@ -23,6 +23,10 @@ func TestErrwrap(t *testing.T) {
 		"fpsa", "fpsa/internal/lib")
 }
 
+func TestDetaxonomy(t *testing.T) {
+	analysis.RunTest(t, "testdata/detaxonomy", checks.Detaxonomy, "fpsa")
+}
+
 func TestDeprecation(t *testing.T) {
 	rootDir := filepath.Join("testdata", "deprecation", "src", "fpsa")
 	analysis.RunTest(t, "testdata/deprecation", checks.Deprecation(rootDir, checks.RootPath),

@@ -1,0 +1,56 @@
+package checks
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"fpsa/internal/tools/fpsavet/analysis"
+)
+
+// Detaxonomy is the autotuner's tightened taxonomy pass. The general
+// Errwrap rules leave two gaps the search code is prone to fall into:
+// a dynamic format string proves nothing (so Errwrap stays silent), and
+// a %v over an interpolated non-error value hides which taxonomy
+// sentinel applies. In the public package's autotuner files — basename
+// prefix "autotune", where the search loop mints errors on many exit
+// paths — every fmt.Errorf must therefore carry a %w verb wrapping the
+// taxonomy (an Err* sentinel or an upstream error that already wraps
+// one), and the format must be a compile-time constant so the rule is
+// checkable.
+var Detaxonomy = &analysis.Analyzer{
+	Name: "detaxonomy",
+	Doc: "flags fmt.Errorf calls without a %w verb (or with unprovable " +
+		"dynamic formats) in the root package's autotuner files",
+	Run: runDetaxonomy,
+}
+
+func runDetaxonomy(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != RootPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !strings.HasPrefix(base, "autotune") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !analysis.IsNamed(calleeObj(pass, call), "fmt", "Errorf") {
+				return true
+			}
+			format, known := constFormat(pass, call)
+			switch {
+			case !known:
+				pass.Report(call.Pos(), "dynamic fmt.Errorf format in an autotuner file; use a constant format with %%w so the error provably stays inside the taxonomy")
+			case !strings.Contains(format, "%w"):
+				pass.Report(call.Pos(), "fmt.Errorf without %%w in an autotuner file; wrap an Err* sentinel (or an upstream error) with %%w so errors.Is keeps working")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package fpsa is golden input standing in for the public root package:
+// in autotuner files every fmt.Errorf must provably wrap the taxonomy.
+package fpsa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidArgument is a sentinel; package-level declarations are where
+// the taxonomy lives.
+var ErrInvalidArgument = errors.New("fpsa: invalid argument")
+
+func wrapsSentinel(n int) error {
+	return fmt.Errorf("%w: budget %d", ErrInvalidArgument, n)
+}
+
+func wrapsUpstream(err error) error {
+	return fmt.Errorf("fpsa: autotune: refining candidate: %w", err)
+}
+
+func adHoc(n int) error {
+	return fmt.Errorf("no feasible assignment within %d PEs", n) // want `fmt.Errorf without %w in an autotuner file`
+}
+
+func flattens(err error) error {
+	return fmt.Errorf("search failed: %v", err) // want `fmt.Errorf without %w in an autotuner file`
+}
+
+func dynamic(format string, err error) error {
+	return fmt.Errorf(format, err) // want `dynamic fmt.Errorf format in an autotuner file`
+}

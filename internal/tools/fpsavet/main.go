@@ -51,6 +51,7 @@ func main() {
 		checks.Determinism,
 		checks.Ctxflow,
 		checks.Errwrap,
+		checks.Detaxonomy,
 		checks.Deprecation(moduleDir, checks.RootPath),
 	}
 

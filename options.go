@@ -14,6 +14,12 @@ type WeightSource func(layer string) [][]float64
 type compileSettings struct {
 	cfg     Config
 	weights WeightSource
+
+	// Autotune-only knobs (ignored by a plain Compile): the PE envelope
+	// the search may spend, and how many finalists it places & routes.
+	peBudget  int
+	refine    int
+	refineSet bool
 }
 
 // Option configures Compile. Options are applied in order, so a later
@@ -29,6 +35,69 @@ func WithDuplication(n int) Option {
 // WithTracks overrides the routing channel width (default 2048).
 func WithTracks(n int) Option {
 	return func(s *compileSettings) { s.cfg.Tracks = n }
+}
+
+// WithLayerDuplication assigns per-layer duplication degrees, keyed by
+// model layer name (see Model.WeightLayers): every weight group of an
+// assigned layer receives that many PE copies (clamped to its reuse
+// degree), while unassigned layers follow WithDuplication. This is the
+// knob behind Autotune's output — a uniform map is bit-exact with the
+// equivalent global WithDuplication. Degrees must be ≥ 1 and name layers
+// the model has; Compile rejects anything else with ErrInvalidArgument.
+func WithLayerDuplication(layerDup map[string]int) Option {
+	return func(s *compileSettings) { s.cfg.LayerDup = copyIntMap(layerDup) }
+}
+
+// WithLayerTracks assigns per-layer routing channel requirements, keyed
+// by model layer name. Each chip's channel width becomes the maximum
+// requirement among the layers it hosts (a chip hosting any unassigned
+// layer also honors the global WithTracks or its default), which lets the
+// autotuner narrow channels below the generous 2048 default where routing
+// demand allows. Widths must be ≥ 1 and name layers the model has;
+// Compile rejects anything else with ErrInvalidArgument.
+func WithLayerTracks(layerTracks map[string]int) Option {
+	return func(s *compileSettings) { s.cfg.LayerTracks = copyIntMap(layerTracks) }
+}
+
+// WithShardCuts pins the multi-chip partition at exactly these group-chain
+// cut positions (strictly increasing, each inside the group chain),
+// bypassing the partition search; len(cuts)+1 chips result and WithChips
+// need not be repeated. This is how Autotune replays a searched cut; most
+// callers want WithChips/WithChipCapacity instead. Compile rejects
+// non-increasing or out-of-range cuts with ErrInvalidArgument.
+func WithShardCuts(cuts ...int) Option {
+	return func(s *compileSettings) { s.cfg.ShardCuts = append([]int(nil), cuts...) }
+}
+
+// WithPEBudget sets the PE envelope Autotune may spend across the whole
+// deployment (all chips together). 0 — the default — derives the
+// envelope: WithChipCapacity × WithChips when a capacity is set,
+// otherwise the uniform WithDuplication spend, so an un-budgeted search
+// answers "same spend, better assignment". Plain Compile ignores it.
+func WithPEBudget(n int) Option {
+	return func(s *compileSettings) { s.peBudget = n }
+}
+
+// WithAutotuneRefine sets how many of Autotune's oracle-ranked finalists
+// are actually placed & routed (through the compile cache) to rescore
+// them with measured hop counts before the winner is chosen. 0 trusts
+// the oracle ranking and skips place & route entirely; the default is 2.
+// Plain Compile ignores it.
+func WithAutotuneRefine(k int) Option {
+	return func(s *compileSettings) { s.refine = k; s.refineSet = true }
+}
+
+// copyIntMap defensively copies an option's map so later caller mutation
+// cannot alias into the compiled deployment. nil and empty stay nil.
+func copyIntMap(m map[string]int) map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // WithSeed fixes the deployment's seed: it drives placement annealing

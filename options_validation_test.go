@@ -1,0 +1,89 @@
+package fpsa
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCompileOptionValidation: every compile knob rejects nonsensical
+// values up front with ErrInvalidArgument instead of letting them flow
+// into allocation or partitioning.
+func TestCompileOptionValidation(t *testing.T) {
+	m, err := LoadBenchmark("MLP-500-100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"negative duplication", []Option{WithDuplication(-1)}},
+		{"negative tracks", []Option{WithTracks(-4)}},
+		{"negative chips", []Option{WithChips(-2)}},
+		{"negative chip capacity", []Option{WithChipCapacity(-100)}},
+		{"negative placement seeds", []Option{WithPlacementSeeds(-1)}},
+		{"negative parallelism", []Option{WithParallelism(-8)}},
+		{"zero layer dup", []Option{WithLayerDuplication(map[string]int{"fc1": 0})}},
+		{"negative layer dup", []Option{WithLayerDuplication(map[string]int{"fc1": -3})}},
+		{"zero layer tracks", []Option{WithLayerTracks(map[string]int{"fc1": 0})}},
+		{"zero shard cut", []Option{WithShardCuts(0)}},
+		{"negative shard cut", []Option{WithShardCuts(-1, 2)}},
+		{"non-increasing cuts", []Option{WithShardCuts(3, 3)}},
+		{"decreasing cuts", []Option{WithShardCuts(4, 2)}},
+		{"unknown layer dup", []Option{WithLayerDuplication(map[string]int{"no-such-layer": 2})}},
+		{"unknown layer tracks", []Option{WithLayerTracks(map[string]int{"no-such-layer": 2})}},
+		{"cut beyond chain", []Option{WithShardCuts(9999), WithChips(2)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile(context.Background(), m, tc.opts...); !errors.Is(err, ErrInvalidArgument) {
+				t.Errorf("Compile(%s) = %v, want ErrInvalidArgument", tc.name, err)
+			}
+		})
+	}
+	// Zero stays "use the default" everywhere, as the option docs promise.
+	if _, err := Compile(context.Background(), m, WithDuplication(0), WithTracks(0), WithChips(0)); err != nil {
+		t.Errorf("zero-valued knobs must compile with defaults, got %v", err)
+	}
+}
+
+// TestEngineOptionValidation: serving knobs with nonsensical values —
+// including NaN and out-of-range sparse thresholds — are rejected with
+// ErrInvalidArgument before a worker pool spins up.
+func TestEngineOptionValidation(t *testing.T) {
+	d, _, _ := trainedDeployment(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts []EngineOption
+	}{
+		{"NaN sparse threshold", []EngineOption{WithSparseThreshold(math.NaN())}},
+		{"negative sparse threshold", []EngineOption{WithSparseThreshold(-0.5)}},
+		{"sparse threshold above 1", []EngineOption{WithSparseThreshold(1.5)}},
+		{"negative workers", []EngineOption{WithWorkers(-1)}},
+		{"negative batch", []EngineOption{WithMaxBatch(-2)}},
+		{"negative queue depth", []EngineOption{WithQueueDepth(-4)}},
+		{"negative chips", []EngineOption{WithEngineChips(-1)}},
+		{"negative flush interval", []EngineOption{WithFlushInterval(-time.Millisecond)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := d.NewEngine(ctx, tc.opts...); !errors.Is(err, ErrInvalidArgument) {
+				t.Errorf("NewEngine(%s) = %v, want ErrInvalidArgument", tc.name, err)
+			}
+		})
+	}
+	// Boundary values of the sparse threshold are legal: 0 means default,
+	// 1 disables the dense fallback entirely.
+	for _, thr := range []float64{0, 1} {
+		eng, err := d.NewEngine(ctx, WithSparseThreshold(thr))
+		if err != nil {
+			t.Errorf("WithSparseThreshold(%v): %v, want success", thr, err)
+			continue
+		}
+		eng.Close()
+	}
+}
