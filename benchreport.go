@@ -27,6 +27,11 @@ type BenchReport struct {
 	// without host-noise caveats) plus search wall-clock and compile-
 	// cache traffic.
 	Autotune AutotuneBenchResult
+	// Faults is the fault-injection reliability sweep: accuracy vs
+	// stuck-cell rate with and without spare-row/column remapping
+	// (deterministic — ModeReference over seeded fault draws — so drops
+	// are algorithm changes, not host noise).
+	Faults FaultBenchResult
 }
 
 // JSON renders the report as indented JSON with a trailing newline.
@@ -60,6 +65,10 @@ func RunBenchReport(ctx context.Context, batch, samples int) (BenchReport, error
 		return rep, err
 	}
 	rep.Autotune, err = AutotuneBench(ctx, AutotuneBenchOptions{})
+	if err != nil {
+		return rep, err
+	}
+	rep.Faults, err = FaultBench(ctx, FaultBenchOptions{})
 	return rep, err
 }
 
@@ -128,6 +137,20 @@ func CompareBenchReports(baseline, cur BenchReport, tol float64) (regressions, w
 				if now.Objective == base.Objective && now.Budget == base.Budget {
 					check(fmt.Sprintf("autotune %s/%d improvement", base.Objective, base.Budget),
 						base.ImprovementPct, now.ImprovementPct, "% gain")
+					break
+				}
+			}
+		}
+	}
+	if section("faults", len(baseline.Faults.Rows) == 0, len(cur.Faults.Rows) == 0) {
+		// Fault-sweep accuracies are deterministic functions of seeded
+		// draws, so remapped accuracy dropping at a matched rate means the
+		// fault model or the remapper changed behavior.
+		check("faults baseline accuracy", baseline.Faults.BaselineAcc, cur.Faults.BaselineAcc, "accuracy")
+		for _, base := range baseline.Faults.Rows {
+			for _, now := range cur.Faults.Rows {
+				if now.Rate == base.Rate {
+					check(fmt.Sprintf("faults rate=%g remapped", base.Rate), base.AccRemap, now.AccRemap, "accuracy")
 					break
 				}
 			}

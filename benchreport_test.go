@@ -22,6 +22,10 @@ func compareFixture() BenchReport {
 			{Objective: "min-energy", Budget: 480, ImprovementPct: 42.0},
 			{Objective: "min-latency", Budget: 700, ImprovementPct: 28.0},
 		}},
+		Faults: FaultBenchResult{BaselineAcc: 0.96, Rows: []FaultBenchRow{
+			{Rate: 0.01, AccRemap: 0.95, AccNoRemap: 0.80},
+			{Rate: 0.05, AccRemap: 0.90, AccNoRemap: 0.60},
+		}},
 	}
 }
 
@@ -37,6 +41,7 @@ func TestCompareBenchReportsClean(t *testing.T) {
 	cur.Serving.EngineSPS = base.Serving.EngineSPS * 0.95
 	cur.Sparsity.Rows[0].SparseSPS = base.Sparsity.Rows[0].SparseSPS * 0.95
 	cur.Autotune.Rows[0].ImprovementPct = base.Autotune.Rows[0].ImprovementPct * 0.95
+	cur.Faults.Rows[1].AccRemap = base.Faults.Rows[1].AccRemap * 0.95
 	if regs, _ := CompareBenchReports(base, cur, 0.10); len(regs) != 0 {
 		t.Fatalf("within-tolerance drift regressed: %v", regs)
 	}
@@ -53,15 +58,16 @@ func TestCompareBenchReportsFlagsRegressions(t *testing.T) {
 	cur.Sharding.Rows[1].ThroughputSPS = 1  // 2-chip row collapses
 	cur.Sparsity.Rows[0].SparseSPS = 100    // d=0.05 row collapses
 	cur.Autotune.Rows[0].ImprovementPct = 2 // tuned gain collapses
+	cur.Faults.Rows[1].AccRemap = 0.5       // remap stops recovering accuracy
 	regs, warns := CompareBenchReports(base, cur, 0.10)
 	if len(warns) != 0 {
 		t.Fatalf("complete baseline warned: %v", warns)
 	}
-	if len(regs) != 4 {
-		t.Fatalf("got %d regressions, want 4: %v", len(regs), regs)
+	if len(regs) != 5 {
+		t.Fatalf("got %d regressions, want 5: %v", len(regs), regs)
 	}
 	joined := strings.Join(regs, "\n")
-	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05", "autotune min-energy/480"} {
+	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05", "autotune min-energy/480", "faults rate=0.05 remapped"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("regressions missing %q:\n%s", want, joined)
 		}
@@ -94,5 +100,33 @@ func TestCompareBenchReportsSkipsAbsentBaselines(t *testing.T) {
 	cur2.Sharding.Rows = cur2.Sharding.Rows[:1]
 	if regs, warns := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 || len(warns) != 0 {
 		t.Fatalf("unmatched rows regressed: %v (warnings %v)", regs, warns)
+	}
+}
+
+// TestCompareBenchReportsFaultsSectionGrowth pins the CI-gate scenario
+// for this schema addition: a baseline snapshot that predates the fault
+// sweep warns — never fails — against a fresh report that carries one,
+// and once both sides have the section, only matched-rate remapped
+// accuracies are compared.
+func TestCompareBenchReportsFaultsSectionGrowth(t *testing.T) {
+	base := compareFixture()
+	base.Faults = FaultBenchResult{} // pre-faults snapshot (e.g. BENCH_PR8)
+	cur := compareFixture()
+	cur.Faults.Rows[0].AccRemap = 0.01 // would fail against a real baseline
+	regs, warns := CompareBenchReports(base, cur, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("pre-faults baseline regressed: %v", regs)
+	}
+	if joined := strings.Join(warns, "\n"); !strings.Contains(joined, "baseline has no faults section") {
+		t.Fatalf("missing faults-section warning: %v", warns)
+	}
+	// With both sections present, an unmatched rate in the fresh run is
+	// ignored and a matched-rate drop in the no-remap arm is informational
+	// (only the remapped accuracy gates).
+	cur2 := compareFixture()
+	cur2.Faults.Rows[0].Rate = 0.02 // rate not in baseline
+	cur2.Faults.Rows[1].AccNoRemap = 0.1
+	if regs, warns := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 || len(warns) != 0 {
+		t.Fatalf("faults section over-gated: %v (warnings %v)", regs, warns)
 	}
 }

@@ -11,6 +11,7 @@
 //	fpsa-bench -exp sharding           # 1/2/4-chip pipelined serving
 //	fpsa-bench -exp sparsity           # dense vs bit-packed sparse kernel
 //	fpsa-bench -exp autotune           # per-layer autotuner vs uniform sweep
+//	fpsa-bench -exp faults             # stuck-cell fault injection, remap on/off
 //	fpsa-bench -json -out BENCH.json   # machine-readable serving report
 //	fpsa-bench -baseline BENCH.json    # rerun and fail on regression
 //	fpsa-bench -list                   # show artifact IDs
@@ -32,7 +33,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	batch := flag.Int("batch", 0, "micro-batch size for the serving, sharding and sparsity experiments (0 = default 16)")
 	samples := flag.Int("samples", 0, "sample count for the -json / -baseline serving experiments (0 = default 512)")
-	jsonOut := flag.Bool("json", false, "emit the serving, sharding and sparsity results as one JSON report (ignores -exp)")
+	jsonOut := flag.Bool("json", false, "emit the serving, sharding, sparsity, autotune and faults results as one JSON report (ignores -exp)")
 	baseline := flag.String("baseline", "", "rerun the JSON report and exit nonzero if serving throughput regressed against this BENCH_PR*.json snapshot")
 	regress := flag.Float64("regress", 0.10, "regression tolerance for -baseline (fraction below baseline that fails)")
 	out := flag.String("out", "", "write output to this file instead of stdout")

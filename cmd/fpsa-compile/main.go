@@ -44,6 +44,8 @@ func main() {
 	policyName := flag.String("policy", "auto", "shard partitioning policy: auto, mincut, or balanced")
 	autotune := flag.String("autotune", "", "search per-layer duplication and shard cuts for this objective (latency, energy, or throughput) instead of compiling -dup as given")
 	pebudget := flag.Int("pebudget", 0, "PE envelope for -autotune (0 = derive from -chipcap x -chips, else the uniform -dup spend)")
+	faultrate := flag.Float64("faultrate", 0, "stuck-cell fault rate per crossbar cell in [0,1] (0 = ideal devices); faults are drawn deterministically from -faultseed and remapped around spare rows/columns")
+	faultseed := flag.Int64("faultseed", 1, "fault-map seed for -faultrate")
 	flag.Parse()
 	if *cache {
 		*pnr = true
@@ -67,6 +69,10 @@ func main() {
 		fpsa.WithPlacementSeeds(*seeds), fpsa.WithParallelism(*jobs),
 		fpsa.WithChips(*chips), fpsa.WithChipCapacity(*chipcap),
 		fpsa.WithShardPolicy(policy),
+	}
+	if *faultrate != 0 {
+		opts = append(opts, fpsa.WithFaultModel(*faultrate, *faultseed))
+		fmt.Printf("fault model: stuck-cell rate %g, seed %d, spare-row/column remapping on\n", *faultrate, *faultseed)
 	}
 	var artifacts *fpsa.CompileCache
 	if *cache {

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -88,6 +91,13 @@ type Config struct {
 	// ShardPolicy selects the multi-chip partitioning objective
 	// (ShardAuto = minimal inter-chip traffic for compilation).
 	ShardPolicy ShardPolicy
+	// Faults is the deployment's non-ideal device scenario: deterministic
+	// stuck cells, drift and read variation applied when crossbars are
+	// programmed, steered around by the mapper's spare-row/column
+	// remapping and keyed into the compile cache. nil (or an all-zero
+	// map) is bit-identical to ideal devices. See WithFaultModel and
+	// WithFaultMap.
+	Faults *FaultMap
 }
 
 // DefaultConfig returns a 1× deployment on the default fabric.
@@ -135,14 +145,89 @@ func (c Config) validate() error {
 			return fmt.Errorf("%w: WithShardCuts: cuts %v must be strictly increasing", ErrInvalidArgument, c.ShardCuts)
 		}
 	}
+	if err := c.Faults.validate(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validate rejects fault-scenario parameters outside their physical
+// domains. NaN is rejected everywhere: a NaN rate or drift would
+// silently disable comparisons and corrupt the deterministic draws.
+func (f *FaultMap) validate() error {
+	if f == nil {
+		return nil
+	}
+	for _, k := range []struct {
+		name     string
+		v        float64
+		lo, hi   float64
+		openHigh bool
+	}{
+		{"fault rate", f.Rate, 0, 1, false},
+		{"stuck-high fraction", f.StuckHighFrac, 0, 1, false},
+		{"drift", f.Drift, 0, 1, true},
+		{"read sigma", f.ReadSigma, 0, math.Inf(1), false},
+	} {
+		if math.IsNaN(k.v) || k.v < k.lo || k.v > k.hi || (k.openHigh && k.v == k.hi) {
+			return fmt.Errorf("%w: WithFaultMap: %s %v outside its valid range", ErrInvalidArgument, k.name, k.v)
+		}
+	}
+	// Sorted iteration: with several bad entries the reported one must
+	// not depend on map order.
+	layers := make([]string, 0, len(f.LayerSeeds))
+	for layer := range f.LayerSeeds {
+		layers = append(layers, layer)
+	}
+	sort.Strings(layers)
+	for _, layer := range layers {
+		if s := f.LayerSeeds[layer]; s < 0 {
+			return fmt.Errorf("%w: WithFaultMap: layer %q seed %d must be ≥ 0", ErrInvalidArgument, layer, s)
+		}
+	}
+	return nil
+}
+
+// cacheSegment renders the scenario canonically for the compile-cache
+// key, so faulted and ideal artifacts (or two different scenarios) never
+// collide. Inactive maps render empty — bit-identical hardware must hit
+// the same cache entry as no map at all.
+func (f *FaultMap) cacheSegment() string {
+	if !f.active() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rate=%s,seed=%d,high=%s,drift=%s,rsig=%s,remap=%t",
+		strconv.FormatFloat(f.Rate, 'g', -1, 64), f.Seed,
+		strconv.FormatFloat(f.StuckHighFrac, 'g', -1, 64),
+		strconv.FormatFloat(f.Drift, 'g', -1, 64),
+		strconv.FormatFloat(f.ReadSigma, 'g', -1, 64), !f.NoRemap)
+	if len(f.LayerSeeds) > 0 {
+		layers := make([]string, 0, len(f.LayerSeeds))
+		for layer := range f.LayerSeeds {
+			layers = append(layers, layer)
+		}
+		sort.Strings(layers)
+		b.WriteString(",layers=")
+		for i, layer := range layers {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			fmt.Fprintf(&b, "%s:%d", layer, f.LayerSeeds[layer])
+		}
+	}
+	return b.String()
 }
 
 // checkLayerNames rejects per-layer assignments naming layers the
 // synthesized model does not have — a silent no-op otherwise, which for
 // an autotuned assignment would mean silently compiling the wrong thing.
 func checkLayerNames(co *coreop.Graph, cfg Config) error {
-	if len(cfg.LayerDup) == 0 && len(cfg.LayerTracks) == 0 {
+	var layerSeeds map[string]int64
+	if cfg.Faults != nil {
+		layerSeeds = cfg.Faults.LayerSeeds
+	}
+	if len(cfg.LayerDup) == 0 && len(cfg.LayerTracks) == 0 && len(layerSeeds) == 0 {
 		return nil
 	}
 	layers := make(map[string]bool, len(co.Groups))
@@ -160,6 +245,11 @@ func checkLayerNames(co *coreop.Graph, cfg Config) error {
 			if !layers[layer] {
 				return fmt.Errorf("%w: %s: layer %q not in model", ErrInvalidArgument, m.opt, layer)
 			}
+		}
+	}
+	for layer := range layerSeeds {
+		if !layers[layer] {
+			return fmt.Errorf("%w: WithFaultMap: layer %q not in model", ErrInvalidArgument, layer)
 		}
 	}
 	return nil
@@ -250,6 +340,9 @@ func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, er
 	if err := m.valid(); err != nil {
 		return nil, err
 	}
+	if set.faultModelSet && set.faultMapSet {
+		return nil, fmt.Errorf("%w: WithFaultModel and WithFaultMap both given; pass one fault scenario", ErrInvalidArgument)
+	}
 	if err := set.cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -298,7 +391,7 @@ func compile(ctx context.Context, m Model, set compileSettings) (*Deployment, er
 		}
 	}
 	if len(d.shards) == 0 {
-		nl, err := mapper.BuildNetlist(co, alloc, params, nil)
+		nl, err := mapper.BuildNetlistFaulted(co, alloc, params, nil, cfg.Faults.deviceModel(), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -400,7 +493,9 @@ func (d *Deployment) shardify() error {
 			Iterations: d.alloc.Iterations[lo:hi],
 			TotalPEs:   sum,
 		}
-		nl, err := mapper.BuildNetlist(sub, alloc, d.params, nil)
+		// unitBase = lo: the sub-graph renumbers its groups from 0, but
+		// fault maps key on the global group ID the executor programs.
+		nl, err := mapper.BuildNetlistFaulted(sub, alloc, d.params, nil, d.cfg.Faults.deviceModel(), lo)
 		if err != nil {
 			return fmt.Errorf("fpsa: shard %d: %w", k, err)
 		}
@@ -938,6 +1033,11 @@ func (d *Deployment) cacheKey(shardIdx int) compilecache.Key {
 	fmt.Fprintf(&b, "|tracks=%d|seed=%d|pseeds=%d", d.tracksForRange(lo, hi), d.cfg.Seed, d.cfg.PlacementSeeds)
 	if shardIdx >= 0 {
 		fmt.Fprintf(&b, "|shardgroups=%d:%d", lo, hi)
+	}
+	if seg := d.cfg.Faults.cacheSegment(); seg != "" {
+		// Fault penalties shift placement costs, so a faulted deployment's
+		// artifacts must never collide with the ideal-device entry.
+		fmt.Fprintf(&b, "|faults=%s", seg)
 	}
 	return compilecache.KeyFrom(d.model.graph.Fingerprint(), b.String())
 }

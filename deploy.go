@@ -45,7 +45,10 @@ func (d *Deployment) buildNet(src WeightSource) (*SpikingNet, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrModelInvalid, err)
 	}
-	sn := &SpikingNet{prog: prog}
+	// The compiled fault scenario rides along so every net and engine of
+	// this deployment programs the same faulted hardware the mapper
+	// steered placement around.
+	sn := &SpikingNet{prog: prog, faults: d.cfg.Faults.deviceModel()}
 	sn.SetSeed(d.cfg.Seed)
 	return sn, nil
 }

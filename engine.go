@@ -131,6 +131,7 @@ func newEngine(sn *SpikingNet, cfg EngineConfig, policy serve.StagePolicy) (*Eng
 		Policy:          policy,
 		Spike:           spike,
 		SparseThreshold: cfg.SparseThreshold,
+		Faults:          sn.faults,
 	})
 	if err != nil {
 		return nil, err
@@ -223,6 +224,12 @@ type EngineStats struct {
 	SparseKernels uint64
 	DenseKernels  uint64
 	SpikeDensity  float64
+	// FaultedCells is the deployment's residual stuck-cell count under
+	// its compiled fault model (WithFaultModel / WithFaultMap): stuck
+	// logical weight cells across the program's crossbars after
+	// spare-row/column remapping. Per-deployment — every execution
+	// replica programs identical faults — and 0 without a fault model.
+	FaultedCells  int
 	ThroughputSPS float64
 	P50LatencyUS  float64
 	P99LatencyUS  float64

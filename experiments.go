@@ -13,13 +13,14 @@ import (
 // ExperimentIDs lists the reproducible paper artifacts plus the ablation
 // studies grounded in the paper's §7 discussion, the measured serving
 // artifacts ("serving", "sharding" and "sparsity", tunable via
-// fpsa-bench -batch), and the compilation-autotuner sweep ("autotune").
+// fpsa-bench -batch), the compilation-autotuner sweep ("autotune"), and
+// the fault-injection reliability study ("faults").
 func ExperimentIDs() []string {
 	ids := []string{
 		"table1", "table2", "table3",
 		"figure2", "figure6", "figure7", "figure8", "figure9",
 		"ablation-transmission", "ablation-channels", "ablation-heteropes",
-		"serving", "sharding", "sparsity", "autotune",
+		"serving", "sharding", "sparsity", "autotune", "faults",
 	}
 	sort.Strings(ids)
 	return ids
@@ -90,6 +91,8 @@ func RunExperiment(ctx context.Context, id string) (string, error) {
 		return RunSparsityExperiment(ctx, 0)
 	case "autotune":
 		return RunAutotuneExperiment(ctx)
+	case "faults":
+		return RunFaultsExperiment(ctx)
 	case "ablation-heteropes":
 		rows, err := experiments.AblationHeteroPEs(64)
 		if err != nil {

@@ -1,0 +1,190 @@
+package fpsa
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"fpsa/internal/synth"
+)
+
+// FaultBenchOptions shapes the reliability experiment: the standard MLP
+// workload compiled under a sweep of stuck-cell fault rates, each rate
+// measured with and without the compiler's spare-row/column remapping,
+// Monte-Carlo over several fault seeds.
+type FaultBenchOptions struct {
+	// Samples caps how many held-out test samples each trial classifies.
+	// 0 means the whole test split (300 samples).
+	Samples int
+	// Rates lists the per-cell stuck-fault probabilities to sweep, each
+	// in [0, 1]. nil means 0, 0.002, 0.005, 0.01, 0.02, 0.05. Rate 0 is
+	// the zero-rate-equivalence check: it must reproduce the fault-free
+	// baseline exactly.
+	Rates []float64
+	// Trials is the Monte-Carlo width: how many fault seeds each (rate,
+	// remap) cell averages over. 0 means 5.
+	Trials int
+	// Seed fixes the dataset/training seed and anchors the per-trial
+	// fault seeds. 0 means 7.
+	Seed int64
+}
+
+func (o FaultBenchOptions) withDefaults() FaultBenchOptions {
+	if o.Samples <= 0 {
+		o.Samples = 300
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{0, 0.002, 0.005, 0.01, 0.02, 0.05}
+	}
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// FaultBenchRow is one fault rate's Monte-Carlo means across the two
+// compilation arms.
+type FaultBenchRow struct {
+	// Rate is the per-cell stuck-fault probability.
+	Rate float64
+	// CellsRemap and CellsNoRemap are the mean residual stuck cells the
+	// programmed crossbars actually carry — after spare-row/column
+	// remapping, and with remapping disabled. Their gap is the fault
+	// population the compiler steered around.
+	CellsRemap   float64
+	CellsNoRemap float64
+	// AccRemap and AccNoRemap are mean classification accuracies on the
+	// held-out split under each arm.
+	AccRemap   float64
+	AccNoRemap float64
+	// Recovered is AccRemap − AccNoRemap: the accuracy the remapping
+	// recovers at this fault rate.
+	Recovered float64
+}
+
+// FaultBenchResult reports the sweep.
+type FaultBenchResult struct {
+	Options FaultBenchOptions
+	// BaselineAcc is the fault-free deployment's accuracy on the same
+	// samples — the ceiling both arms degrade from. The Rate-0 row must
+	// match it exactly (the zero-rate-equivalence invariant).
+	BaselineAcc float64
+	Rows        []FaultBenchRow
+}
+
+// String renders the result as a fpsa-bench artifact.
+func (r FaultBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault injection (MLP 16-24-4, %d samples, %d trials per rate, mode reference)\n",
+		r.Options.Samples, r.Options.Trials)
+	fmt.Fprintf(&b, "  baseline accuracy %.4f (ideal devices)\n", r.BaselineAcc)
+	fmt.Fprintf(&b, "  %-8s %-12s %-12s %-11s %-11s %s\n",
+		"rate", "cells/remap", "cells/none", "acc/remap", "acc/none", "recovered")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8.3g %-12.1f %-12.1f %-11.4f %-11.4f %+.4f\n",
+			row.Rate, row.CellsRemap, row.CellsNoRemap, row.AccRemap, row.AccNoRemap, row.Recovered)
+	}
+	b.WriteString("  (same seed ⇒ same faults in every mode and at every worker count, see docs/INVARIANTS.md)\n")
+	return b.String()
+}
+
+// FaultBench trains and deploys the standard MLP workload under a sweep
+// of stuck-cell fault rates and measures classification accuracy with
+// the compiler's spare-row/column remapping on and off, Monte-Carlo over
+// opts.Trials fault seeds per rate. Execution runs ModeReference, so a
+// trial's accuracy is a deterministic function of (training seed, fault
+// seed, remap arm) — the sweep isolates fault damage from programming
+// noise. ctx bounds the compiles and is checked between trials.
+func FaultBench(ctx context.Context, opts FaultBenchOptions) (FaultBenchResult, error) {
+	opts = opts.withDefaults()
+	res := FaultBenchResult{Options: opts}
+	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
+	train, test := ds.Split(2.0 / 3)
+	net, err := TrainMLP(opts.Seed, []int{16, 24, 4}, train, 30)
+	if err != nil {
+		return res, err
+	}
+	if opts.Samples < len(test.X) {
+		test.X, test.Y = test.X[:opts.Samples], test.Y[:opts.Samples]
+	}
+
+	// One trial: compile the model under the given fault scenario and
+	// classify the held-out split, returning accuracy and the residual
+	// stuck-cell count the programmed crossbars carry.
+	trial := func(fm *FaultMap) (acc float64, cells int, err error) {
+		compileOpts := []Option{WithWeightSource(net.WeightSource()), WithSeed(opts.Seed)}
+		if fm != nil {
+			compileOpts = append(compileOpts, WithFaultMap(*fm))
+		}
+		d, err := Compile(ctx, net.Model(), compileOpts...)
+		if err != nil {
+			return 0, 0, err
+		}
+		sn, err := d.NewNet(nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		ex, err := synth.NewExecutor(sn.prog, synth.RunOptions{Mode: synth.ModeReference, Faults: sn.faults})
+		if err != nil {
+			return 0, 0, err
+		}
+		window := sn.Window()
+		correct := 0
+		for i, x := range test.X {
+			out, err := ex.Run(synth.QuantizeInput(x, window))
+			if err != nil {
+				return 0, 0, err
+			}
+			if synth.Argmax(out) == test.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(test.X)), ex.FaultedCells(), nil
+	}
+
+	if res.BaselineAcc, _, err = trial(nil); err != nil {
+		return res, err
+	}
+	for _, rate := range opts.Rates {
+		row := FaultBenchRow{Rate: rate}
+		for t := 0; t < opts.Trials; t++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			seed := opts.Seed + int64(t)*1009 + 1
+			accR, cellsR, err := trial(&FaultMap{Rate: rate, Seed: seed})
+			if err != nil {
+				return res, err
+			}
+			accN, cellsN, err := trial(&FaultMap{Rate: rate, Seed: seed, NoRemap: true})
+			if err != nil {
+				return res, err
+			}
+			row.AccRemap += accR
+			row.AccNoRemap += accN
+			row.CellsRemap += float64(cellsR)
+			row.CellsNoRemap += float64(cellsN)
+		}
+		n := float64(opts.Trials)
+		row.AccRemap /= n
+		row.AccNoRemap /= n
+		row.CellsRemap /= n
+		row.CellsNoRemap /= n
+		row.Recovered = row.AccRemap - row.AccNoRemap
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunFaultsExperiment renders the fault-injection artifact. It backs
+// fpsa-bench's "faults" experiment.
+func RunFaultsExperiment(ctx context.Context) (string, error) {
+	r, err := FaultBench(ctx, FaultBenchOptions{})
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

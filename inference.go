@@ -195,8 +195,13 @@ func (p SpikePath) xbarPath() (xbar.Path, error) {
 // elements.
 type SpikingNet struct {
 	prog *synth.Program
-	mu   sync.Mutex
-	seed int64
+	// faults is the compiled fault scenario (WithFaultModel/WithFaultMap),
+	// applied deterministically whenever the net programs its crossbars —
+	// identical in every execution mode and at every replica count. nil
+	// for ideal devices.
+	faults *device.FaultModel
+	mu     sync.Mutex
+	seed   int64
 	// rng is the persistent programming-variation stream for
 	// ModeSpikingNoisy: seeded from seed, advanced one draw per noisy
 	// run, so consecutive runs see fresh variation while SetSeed
@@ -265,7 +270,7 @@ func (s *SpikingNet) Outputs(features []float64, mode ExecMode) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := synth.RunOptions{Mode: m}
+	opts := synth.RunOptions{Mode: m, Faults: s.faults}
 	if mode == ModeSpikingNoisy {
 		opts.Rng = s.noisyRng()
 	}
@@ -308,7 +313,7 @@ func (s *SpikingNet) OutputsBatch(features [][]float64, mode ExecMode) ([][]int,
 	if err != nil {
 		return nil, err
 	}
-	opts := synth.RunOptions{Mode: m}
+	opts := synth.RunOptions{Mode: m, Faults: s.faults}
 	if mode == ModeSpikingNoisy {
 		opts.Rng = s.noisyRng()
 	}

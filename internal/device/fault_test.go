@@ -1,0 +1,195 @@
+package device
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultMapDeterministic: MapForUnit is a pure function of (model,
+// layer, unit, geometry) — two calls agree cell for cell, and distinct
+// units land on distinct draws.
+func TestFaultMapDeterministic(t *testing.T) {
+	fm := &FaultModel{Rate: 0.05, Seed: 42, Drift: 0.1, ReadSigma: 1e-6}
+	a := fm.MapForUnit("fc1", 3, 64, 32)
+	b := fm.MapForUnit("fc1", 3, 64, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (model, layer, unit, geometry) produced different maps")
+	}
+	if len(a.Cells) == 0 {
+		t.Fatal("5% rate over 2048 cells produced no faults")
+	}
+	other := fm.MapForUnit("fc1", 4, 64, 32)
+	if reflect.DeepEqual(a.Cells, other.Cells) {
+		t.Fatal("distinct units drew identical fault populations")
+	}
+	if a.ReadSeed == other.ReadSeed {
+		t.Fatal("distinct units share a read-offset seed")
+	}
+}
+
+// TestFaultMapLayerSeeds: a per-layer seed override re-rolls that layer's
+// units and leaves the others on the model seed.
+func TestFaultMapLayerSeeds(t *testing.T) {
+	base := &FaultModel{Rate: 0.05, Seed: 1}
+	binned := &FaultModel{Rate: 0.05, Seed: 1, Seeds: map[string]int64{"fc2": 99}}
+	if a, b := base.MapForUnit("fc1", 0, 64, 32), binned.MapForUnit("fc1", 0, 64, 32); !reflect.DeepEqual(a, b) {
+		t.Fatal("unlisted layer shifted under a LayerSeeds override")
+	}
+	if a, b := base.MapForUnit("fc2", 1, 64, 32), binned.MapForUnit("fc2", 1, 64, 32); reflect.DeepEqual(a.Cells, b.Cells) {
+		t.Fatal("overridden layer kept the model seed's faults")
+	}
+}
+
+// TestFaultMapInactive: nil and all-zero models report inactive and
+// generate empty maps; any nonzero knob flips Active.
+func TestFaultMapInactive(t *testing.T) {
+	var nilModel *FaultModel
+	if nilModel.Active() {
+		t.Fatal("nil model active")
+	}
+	if (&FaultModel{Seed: 5, Remap: true}).Active() {
+		t.Fatal("zero-rate model active")
+	}
+	for name, fm := range map[string]*FaultModel{
+		"rate":  {Rate: 0.1},
+		"drift": {Drift: 0.1},
+		"sigma": {ReadSigma: 0.1},
+	} {
+		if !fm.Active() {
+			t.Fatalf("%s-only model inactive", name)
+		}
+	}
+	m := (&FaultModel{Seed: 5}).MapForUnit("l", 0, 8, 8)
+	if !m.Empty() {
+		t.Fatal("zero-rate map not empty")
+	}
+	mask := m.MaskFor(4, 4, true)
+	if mask.Active() {
+		t.Fatal("empty map produced an active mask")
+	}
+}
+
+// TestFaultMapRemapSteersAroundFaults: a hand-built map whose faults
+// concentrate on specific rows/columns must be fully avoided when spares
+// exist, with deterministic ascending selections.
+func TestFaultMapRemapSteersAroundFaults(t *testing.T) {
+	m := FaultMap{Rows: 6, Cols: 6, Cells: []FaultCell{
+		{Row: 1, Col: 0, Kind: FaultStuckHigh},
+		{Row: 1, Col: 3, Kind: FaultStuckLow},
+		{Row: 4, Col: 2, Kind: FaultStuckLow},
+	}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rows, cols, residual := m.Remap(4, 4)
+	if residual != 0 {
+		t.Fatalf("residual %d with 2 spare rows for 2 faulty ones", residual)
+	}
+	if want := []int{0, 2, 3, 5}; !reflect.DeepEqual(rows, want) {
+		t.Fatalf("row selection %v, want %v", rows, want)
+	}
+	if len(cols) != 4 {
+		t.Fatalf("col selection %v, want 4 columns", cols)
+	}
+	mask := m.MaskFor(4, 4, true)
+	if mask.Faulted != 0 {
+		t.Fatalf("remapped mask carries %d faults", mask.Faulted)
+	}
+	// Identity projection keeps the origin region's faults.
+	ident := m.MaskFor(4, 4, false)
+	if ident.Faulted != 2 {
+		t.Fatalf("identity mask carries %d faults, want 2 (cells at rows 1 and col ≤ 3)", ident.Faulted)
+	}
+	if got := ident.Stuck(1, 0); got != FaultStuckHigh {
+		t.Fatalf("Stuck(1,0) = %v, want stuck-high", got)
+	}
+	if got := ident.Stuck(0, 0); got != 0 {
+		t.Fatalf("Stuck(0,0) = %v, want healthy", got)
+	}
+}
+
+// TestFaultMapValidateRejects covers the malformed maps Decode and the
+// fuzzers rely on Validate to reject.
+func TestFaultMapValidateRejects(t *testing.T) {
+	for name, m := range map[string]FaultMap{
+		"zero-geometry": {},
+		"nan-drift":     {Rows: 2, Cols: 2, Drift: math.NaN()},
+		"big-drift":     {Rows: 2, Cols: 2, Drift: 1},
+		"neg-sigma":     {Rows: 2, Cols: 2, ReadSigma: -1},
+		"cell-range":    {Rows: 2, Cols: 2, Cells: []FaultCell{{Row: 2, Col: 0, Kind: FaultStuckLow}}},
+		"cell-kind":     {Rows: 2, Cols: 2, Cells: []FaultCell{{Row: 0, Col: 0, Kind: 9}}},
+		"cell-order":    {Rows: 2, Cols: 2, Cells: []FaultCell{{Row: 1, Col: 0, Kind: FaultStuckLow}, {Row: 0, Col: 1, Kind: FaultStuckLow}}},
+		"cell-dup":      {Rows: 2, Cols: 2, Cells: []FaultCell{{Row: 0, Col: 1, Kind: FaultStuckLow}, {Row: 0, Col: 1, Kind: FaultStuckHigh}}},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, m)
+		}
+	}
+}
+
+// TestFaultMapEncodeDecode: the canonical wire form round-trips exactly,
+// and Decode rejects near-miss non-canonical spellings.
+func TestFaultMapEncodeDecode(t *testing.T) {
+	m := FaultMap{Rows: 16, Cols: 8, Drift: 0.125, ReadSigma: 2.5e-7, ReadSeed: 901,
+		Cells: []FaultCell{{Row: 0, Col: 7, Kind: FaultStuckLow}, {Row: 3, Col: 0, Kind: FaultStuckHigh}}}
+	enc := m.Encode()
+	dec, err := DecodeFaultMap(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, m) {
+		t.Fatalf("decoded %+v, want %+v", dec, m)
+	}
+	for name, s := range map[string]string{
+		"version":       strings.Replace(enc, "fm1", "fm2", 1),
+		"reordered":     "fm1|16x8|d=0.125|s=2.5e-07|rs=901|3.0H;0.7L",
+		"float-form":    strings.Replace(enc, "0.125", "0.1250", 1),
+		"trailing-semi": enc + ";",
+		"empty":         "",
+	} {
+		if _, err := DecodeFaultMap(s); err == nil {
+			t.Errorf("%s: Decode accepted %q", name, s)
+		}
+	}
+}
+
+// FuzzFaultMapRoundTrip fuzzes the canonical wire format from both ends:
+// generated maps must survive Encode → Decode → Encode bit-exactly, and
+// any arbitrary string Decode accepts must already be canonical (its
+// re-encoding is itself). Seed corpus under
+// testdata/fuzz/FuzzFaultMapRoundTrip; CI runs a short smoke pass.
+func FuzzFaultMapRoundTrip(f *testing.F) {
+	f.Add(0.1, int64(7), 3, 16, 8, 0.05, 1e-7, "fm1|2x2|d=0|s=0|rs=1|0.0H")
+	f.Add(1.0, int64(-3), 0, 4, 4, 0.0, 0.0, "fm1|2x2|d=0|s=0|rs=1|0.1L;0.0H")
+	f.Add(0.0, int64(0), 11, 64, 1, 0.999, 5.5, "not a map")
+	f.Fuzz(func(t *testing.T, rate float64, seed int64, unit, rows, cols int, drift, sigma float64, raw string) {
+		if rows >= 1 && cols >= 1 && rows*cols >= 1 && rows*cols <= 4096 &&
+			!math.IsNaN(rate) &&
+			drift >= 0 && drift < 1 && !math.IsNaN(drift) &&
+			sigma >= 0 && !math.IsNaN(sigma) && !math.IsInf(sigma, 0) {
+			fm := &FaultModel{Rate: rate, Seed: seed, Drift: drift, ReadSigma: sigma}
+			m := fm.MapForUnit("fuzz", unit, rows, cols)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("generated map invalid: %v", err)
+			}
+			enc := m.Encode()
+			dec, err := DecodeFaultMap(enc)
+			if err != nil {
+				t.Fatalf("decode of own encoding %q: %v", enc, err)
+			}
+			if !reflect.DeepEqual(dec, m) {
+				t.Fatalf("round trip changed the map: %+v != %+v", dec, m)
+			}
+			if got := dec.Encode(); got != enc {
+				t.Fatalf("re-encoding drifted: %q != %q", got, enc)
+			}
+		}
+		if dec, err := DecodeFaultMap(raw); err == nil {
+			if got := dec.Encode(); got != raw {
+				t.Fatalf("Decode accepted non-canonical %q (canonical %q)", raw, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package mapper
+
+import (
+	"reflect"
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/models"
+	"fpsa/internal/synth"
+)
+
+// TestBuildNetlistFaultedNilIdentical: a nil or inactive fault model
+// leaves BuildNetlistFaulted bit-identical to BuildNetlist — no block
+// carries a fault stamp and the structure matches exactly.
+func TestBuildNetlistFaultedNilIdentical(t *testing.T) {
+	co, err := synth.Synthesize(models.MLP500_100(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Allocate(co, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := BuildNetlist(co, a, device.Params45nm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fm := range map[string]*device.FaultModel{
+		"nil":       nil,
+		"zero-rate": {Seed: 7, Remap: true},
+	} {
+		got, err := BuildNetlistFaulted(co, a, device.Params45nm, nil, fm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, plain) {
+			t.Fatalf("%s fault model changed the netlist", name)
+		}
+	}
+	for i := range plain.Blocks {
+		if plain.Blocks[i].Fault != 0 {
+			t.Fatalf("unfaulted netlist block %d carries fault stamp %d", i, plain.Blocks[i].Fault)
+		}
+	}
+}
+
+// TestBuildNetlistFaultedStampsResiduals: an active unremapped model
+// stamps PE blocks with positive residual counts, remapping strictly
+// reduces the total, and the stamps are deterministic across rebuilds.
+func TestBuildNetlistFaultedStampsResiduals(t *testing.T) {
+	co, err := synth.Synthesize(models.MLP500_100(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Allocate(co, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(fm *device.FaultModel) int {
+		nl, err := BuildNetlistFaulted(co, a, device.Params45nm, nil, fm, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for i := range nl.Blocks {
+			sum += nl.Blocks[i].Fault
+		}
+		return sum
+	}
+	raw := &device.FaultModel{Rate: 0.02, Seed: 13}
+	without := total(raw)
+	if without == 0 {
+		t.Fatal("unremapped 2% fault rate stamped no residuals")
+	}
+	if again := total(raw); again != without {
+		t.Fatalf("rebuild stamped %d residual cells, first build %d", again, without)
+	}
+	with := total(&device.FaultModel{Rate: 0.02, Seed: 13, Remap: true})
+	if with >= without {
+		t.Fatalf("remapping left %d residual cells, no-remap netlist has %d", with, without)
+	}
+}
+
+// TestBuildNetlistFaultedUnitBase: the unit base offsets the global
+// group IDs fault maps key on, so a shard rebuilt at its global offset
+// stamps different residuals than one rebuilt as if it started at zero.
+func TestBuildNetlistFaultedUnitBase(t *testing.T) {
+	co, err := synth.Synthesize(models.MLP500_100(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Allocate(co, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := &device.FaultModel{Rate: 0.02, Seed: 3}
+	at0, err := BuildNetlistFaulted(co, a, device.Params45nm, nil, fm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at7, err := BuildNetlistFaulted(co, a, device.Params45nm, nil, fm, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range at0.Blocks {
+		if at0.Blocks[i].Fault != at7.Blocks[i].Fault {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("unit base 7 stamped the same fault population as base 0")
+	}
+}

@@ -22,6 +22,23 @@ import (
 // paper's direct spike-train chaining; every time-division-multiplexed
 // connection needs an SMB to hold intermediate counts (§5.2).
 func BuildNetlist(g *coreop.Graph, a Allocation, params device.Params, bufferedEdges map[Edge]bool) (*netlist.Netlist, error) {
+	return BuildNetlistFaulted(g, a, params, bufferedEdges, nil, 0)
+}
+
+// BuildNetlistFaulted is BuildNetlist under a device fault model: each
+// group's PE blocks are stamped with the residual stuck-cell count of its
+// crossbar's deterministic fault map (after spare-row/column remapping
+// when the model asks for it), which the placer reads as a wirelength
+// penalty — nets touching heavily-faulted PEs are pulled toward shorter
+// routes, since their signals are re-driven through degraded hardware.
+// A nil or inactive model stamps nothing and is bit-identical to
+// BuildNetlist.
+//
+// unitBase offsets the fault-map unit IDs: a sharded deployment's
+// sub-graph renumbers its groups from 0, so the caller passes the
+// chip's global group offset to keep the netlist keyed on the same
+// units the executor programs.
+func BuildNetlistFaulted(g *coreop.Graph, a Allocation, params device.Params, bufferedEdges map[Edge]bool, faults *device.FaultModel, unitBase int) (*netlist.Netlist, error) {
 	if len(a.Dup) != len(g.Groups) {
 		return nil, fmt.Errorf("mapper: allocation covers %d groups, graph has %d", len(a.Dup), len(g.Groups))
 	}
@@ -31,9 +48,22 @@ func BuildNetlist(g *coreop.Graph, a Allocation, params device.Params, bufferedE
 	// PE instances.
 	peIDs := make([][]int, len(g.Groups))
 	for gi, grp := range g.Groups {
+		residual := 0
+		if faults.Active() {
+			// Same primitive the executor programs with (FaultMap.MaskFor
+			// keyed on the global group ID), so the netlist's penalty
+			// weights and the runtime's faulted conductances agree by
+			// construction. Every copy of a group shares the map: the
+			// copies are one logical unit's duplicated programming.
+			fm := faults.MapForUnit(grp.Layer, unitBase+grp.ID, params.CrossbarRows, params.LogicalColumns())
+			mask := fm.MaskFor(grp.Rows, grp.Cols, faults.Remap)
+			residual = mask.Faulted
+		}
 		peIDs[gi] = make([]int, a.Dup[gi])
 		for c := 0; c < a.Dup[gi]; c++ {
-			peIDs[gi][c] = nl.AddBlock(netlist.BlockPE, fmt.Sprintf("%s#%d", grp.Name, c), gi, c)
+			id := nl.AddBlock(netlist.BlockPE, fmt.Sprintf("%s#%d", grp.Name, c), gi, c)
+			nl.Blocks[id].Fault = residual
+			peIDs[gi][c] = id
 		}
 	}
 

@@ -43,6 +43,11 @@ type Block struct {
 	GroupID int
 	// Copy distinguishes duplicated PEs of one group.
 	Copy int
+	// Fault is the residual stuck-cell count of a PE's crossbar under the
+	// deployment's fault model (after spare-row/column remapping) — the
+	// placement cost penalty weight. 0 for non-PE blocks and unfaulted
+	// deployments.
+	Fault int
 }
 
 // Net is one logical connection from a source block to sink blocks. The

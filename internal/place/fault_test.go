@@ -1,0 +1,62 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"fpsa/internal/fabric"
+	"fpsa/internal/netlist"
+)
+
+// TestNetWeightFaultPenalty pins the fault-pressure weighting: unfaulted
+// nets keep the classic Signals weight bit for bit, the penalty grows
+// monotonically with the worst residual on the net, and it is bounded
+// strictly below 2× so fault pressure never dominates wirelength.
+func TestNetWeightFaultPenalty(t *testing.T) {
+	nl := ringNetlist(4)
+	net := &nl.Nets[0] // src block 0, sink block 1
+	if w := netWeight(nl, net); w != float64(net.Signals) {
+		t.Fatalf("unfaulted net weighs %v, want the raw Signals weight %d", w, net.Signals)
+	}
+	prev := float64(net.Signals)
+	for _, f := range []int{1, 4, 16, 256, 1 << 20} {
+		nl.Blocks[1].Fault = f
+		w := netWeight(nl, net)
+		if w <= prev {
+			t.Fatalf("fault %d: weight %v did not grow past %v", f, w, prev)
+		}
+		if w >= 2*float64(net.Signals) {
+			t.Fatalf("fault %d: weight %v reached the 2x bound", f, w)
+		}
+		prev = w
+	}
+	// The penalty keys on the worst block across src and sinks: a faulted
+	// source counts the same as an equally faulted sink.
+	nl.Blocks[1].Fault = 0
+	nl.Blocks[0].Fault = 16
+	if w := netWeight(nl, net); math.Abs(w-1.5*float64(net.Signals)) > 1e-12 {
+		t.Fatalf("fault 16 weighs %v, want exactly 1.5x (16/(16+16))", w)
+	}
+}
+
+// TestCostFaultPenaltyPlacementIndependent: net weights depend only on
+// the netlist, never the placement, so stamping faults scales every
+// placement's cost by the same per-net factors — the cost ordering of two
+// placements is preserved exactly on a single-net netlist.
+func TestCostFaultPenaltyPlacementIndependent(t *testing.T) {
+	nl := &netlist.Netlist{Name: "pair"}
+	a := nl.AddBlock(netlist.BlockPE, "a", 0, 0)
+	b := nl.AddBlock(netlist.BlockPE, "b", 1, 0)
+	nl.AddNet(a, []int{b}, 3)
+	near := &Placement{Pos: []fabric.Site{{X: 0, Y: 0}, {X: 1, Y: 0}}}
+	far := &Placement{Pos: []fabric.Site{{X: 0, Y: 0}, {X: 5, Y: 2}}}
+	cleanNear, cleanFar := Cost(near, nl), Cost(far, nl)
+	nl.Blocks[b].Fault = 8
+	factor := Cost(near, nl) / cleanNear
+	if factor <= 1 || factor >= 2 {
+		t.Fatalf("fault penalty factor %v outside (1, 2)", factor)
+	}
+	if got := Cost(far, nl) / cleanFar; math.Abs(got-factor) > 1e-12 {
+		t.Fatalf("penalty factor depends on placement: near %v, far %v", factor, got)
+	}
+}

@@ -117,11 +117,34 @@ func netHPWL(p *Placement, net *netlist.Net) int {
 	return (maxX - minX) + (maxY - minY)
 }
 
-// Cost returns the signal-weighted total HPWL.
+// netWeight is one net's annealing weight: its signal bundle width,
+// inflated when the net touches a faulted PE. The factor 1 + f/(f+16)
+// (f = the largest residual stuck-cell count among the net's blocks) is
+// bounded below 2, so fault pressure shortens routes through degraded
+// hardware without ever dominating the wirelength objective; unfaulted
+// netlists (every Block.Fault zero) keep the classic Signals weight bit
+// for bit. The weight depends only on the netlist, never the placement,
+// so incremental cost deltas stay exact during annealing.
+func netWeight(nl *netlist.Netlist, net *netlist.Net) float64 {
+	f := nl.Blocks[net.Src].Fault
+	for _, b := range net.Sinks {
+		if v := nl.Blocks[b].Fault; v > f {
+			f = v
+		}
+	}
+	w := float64(net.Signals)
+	if f > 0 {
+		w *= 1 + float64(f)/float64(f+16)
+	}
+	return w
+}
+
+// Cost returns the signal-weighted total HPWL (fault-penalized; see
+// netWeight).
 func Cost(p *Placement, nl *netlist.Netlist) float64 {
 	var total float64
 	for i := range nl.Nets {
-		total += float64(netHPWL(p, &nl.Nets[i])) * float64(nl.Nets[i].Signals)
+		total += float64(netHPWL(p, &nl.Nets[i])) * netWeight(nl, &nl.Nets[i])
 	}
 	return total
 }
@@ -341,7 +364,7 @@ func (p *Placement) apply(b, target, other, fromIdx int) {
 func (p *Placement) partialCost(nl *netlist.Netlist, nets []int) float64 {
 	var total float64
 	for _, i := range nets {
-		total += float64(netHPWL(p, &nl.Nets[i])) * float64(nl.Nets[i].Signals)
+		total += float64(netHPWL(p, &nl.Nets[i])) * netWeight(nl, &nl.Nets[i])
 	}
 	return total
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"fpsa/internal/device"
 	"fpsa/internal/shard"
 	"fpsa/internal/synth"
 	"fpsa/internal/xbar"
@@ -37,6 +38,7 @@ type runner interface {
 	Validate(input []int) error
 	RunBatch(inputs [][]int) ([][]int, error)
 	KernelStats() xbar.KernelStats
+	FaultedCells() int
 }
 
 // Options configures an Engine.
@@ -81,6 +83,12 @@ type Options struct {
 	// SparseThreshold is the auto-path density cutoff (0 means
 	// xbar.DefaultSparseThreshold).
 	SparseThreshold float64
+	// Faults, when active, injects the deployment's device fault
+	// scenario into every worker's executor (and the shared pipeline of
+	// a sharded engine). Fault maps are a deterministic function of the
+	// model and each weight group's global ID, so every replica sees
+	// identical faults at any worker count.
+	Faults *device.FaultModel
 }
 
 // StagePolicy selects how a sharded engine (Chips ≥ 2) cuts the
@@ -180,7 +188,7 @@ func New(prog *synth.Program, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: partitioning across %d chips: %w", opts.Chips, err)
 		}
-		ropts := synth.RunOptions{Mode: opts.Mode, Spike: opts.Spike, SparseThreshold: opts.SparseThreshold}
+		ropts := synth.RunOptions{Mode: opts.Mode, Spike: opts.Spike, SparseThreshold: opts.SparseThreshold, Faults: opts.Faults}
 		if opts.Mode == synth.ModeSpikingNoisy {
 			ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
 		}
@@ -195,7 +203,7 @@ func New(prog *synth.Program, opts Options) (*Engine, error) {
 		}
 	} else {
 		for w := range runners {
-			ropts := synth.RunOptions{Mode: opts.Mode, Spike: opts.Spike, SparseThreshold: opts.SparseThreshold}
+			ropts := synth.RunOptions{Mode: opts.Mode, Spike: opts.Spike, SparseThreshold: opts.SparseThreshold, Faults: opts.Faults}
 			if opts.Mode == synth.ModeSpikingNoisy {
 				ropts.Rng = rand.New(rand.NewSource(seeds.Int63()))
 			}
@@ -440,7 +448,23 @@ func (e *Engine) Stats() Stats {
 	s.SparseKernels = ks.SparseBatches
 	s.DenseKernels = ks.DenseBatches
 	s.SpikeDensity = ks.Density()
+	s.FaultedCells = e.faultedCells()
 	return s
+}
+
+// faultedCells reports the deployment's residual stuck-cell count. Every
+// replica programs identical fault maps (they key on the model and the
+// global group IDs, not the replica), so one executor's count IS the
+// deployment's — summing replicas would overcount chip state that exists
+// once.
+func (e *Engine) faultedCells() int {
+	if e.pipe != nil {
+		return e.pipe.FaultedCells()
+	}
+	if len(e.runners) > 0 {
+		return e.runners[0].FaultedCells()
+	}
+	return 0
 }
 
 // kernelStats aggregates kernel-selection counters. A sharded engine's

@@ -38,6 +38,12 @@ type Stats struct {
 	SparseKernels uint64
 	DenseKernels  uint64
 	SpikeDensity  float64
+	// FaultedCells is the deployment's residual stuck-cell count: stuck
+	// logical weight cells the fault model pinned across the program's
+	// crossbars, after any spare-row/column remapping. Every replica
+	// programs identical faults, so this is per-deployment, not
+	// per-worker; 0 without a fault model.
+	FaultedCells int
 	// ThroughputSPS is completed requests per second of engine uptime.
 	ThroughputSPS float64
 	// P50LatencyUS and P99LatencyUS are queue-to-completion latency
@@ -66,6 +72,9 @@ func (s Stats) String() string {
 	if s.SparseKernels+s.DenseKernels > 0 {
 		out += fmt.Sprintf(", kernels %d sparse / %d dense (density %.3f)",
 			s.SparseKernels, s.DenseKernels, s.SpikeDensity)
+	}
+	if s.FaultedCells > 0 {
+		out += fmt.Sprintf(", %d faulted cells", s.FaultedCells)
 	}
 	return out
 }

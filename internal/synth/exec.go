@@ -87,6 +87,15 @@ type RunOptions struct {
 	// SparseThreshold is the auto-path density cutoff; zero means
 	// xbar.DefaultSparseThreshold.
 	SparseThreshold float64
+	// Faults, when active, injects the device fault scenario into every
+	// crossbar the program runs on: each weight group's stuck-cell map is
+	// a deterministic function of (Faults, group ID), so every worker
+	// replica and every chip of a pipelined deployment sees identical
+	// faults — unlike programming variation, which is per-replica. With
+	// Faults.Remap the logical weight region is steered around known-bad
+	// cells using the crossbar's spare rows and columns. An inactive (or
+	// nil) model is bit-identical to no faults at all.
+	Faults *device.FaultModel
 }
 
 // Run executes the program on one input vector of spike counts in [0, Γ]

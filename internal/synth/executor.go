@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 
+	"fpsa/internal/coreop"
 	"fpsa/internal/device"
 	"fpsa/internal/xbar"
 )
@@ -80,6 +81,7 @@ func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
 		}
 		c := cfg
 		c.Eta = grp.Eta
+		c.Faults = faultMaskFor(opts.Faults, p.Params, grp, st.GroupID)
 		u, err := xbar.Program(c, grp.Weights, opts.Rng)
 		if err != nil {
 			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
@@ -89,8 +91,33 @@ func NewExecutor(p *Program, opts RunOptions) (*Executor, error) {
 	return ex, nil
 }
 
+// faultMaskFor derives one weight group's fault mask: the model's
+// deterministic per-unit map at physical crossbar geometry, projected
+// (with or without spare-row/column remapping) onto the group's logical
+// region. Returns nil for an inactive model, keeping the unfaulted path
+// structurally untouched.
+func faultMaskFor(fm *device.FaultModel, params device.Params, grp *coreop.Group, unit int) *device.FaultMask {
+	if !fm.Active() {
+		return nil
+	}
+	m := fm.MapForUnit(grp.Layer, unit, params.CrossbarRows, params.LogicalColumns())
+	mask := m.MaskFor(grp.Rows, grp.Cols, fm.Remap)
+	return &mask
+}
+
 // Mode returns the execution mode the Executor was programmed for.
 func (e *Executor) Mode() ExecMode { return e.opts.Mode }
+
+// FaultedCells sums the stuck logical cells pinned across every crossbar
+// the Executor programmed — the residual faults execution actually sees
+// after any remapping.
+func (e *Executor) FaultedCells() int {
+	n := 0
+	for _, u := range e.units { //fpsa:nondet summing int counters; order-free
+		n += u.FaultedCells()
+	}
+	return n
+}
 
 // KernelStats sums the spiking-kernel selection counters over every
 // crossbar the Executor programmed: how many micro-batch kernel calls took

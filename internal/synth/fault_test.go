@@ -1,0 +1,186 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpsa/internal/device"
+	"fpsa/internal/xbar"
+)
+
+// faultTestProgram compiles the standard little MLP the fault properties
+// run on, plus a batch of quantized inputs.
+func faultTestProgram(t *testing.T) (*Program, [][]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(601))
+	g, ws := buildTestMLP(rng, []int{20, 14, 10, 8, 6})
+	opts := DefaultOptions()
+	opts.Weights = ws
+	_, prog, err := Compile(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, batchInputs(rng, 6, 20, opts.Params.SamplingWindow())
+}
+
+// runFaulted executes the batch once under the given options on a fresh
+// executor and returns the outputs and the residual faulted-cell count.
+func runFaulted(t *testing.T, prog *Program, opts RunOptions, inputs [][]int) ([][]int, int) {
+	t.Helper()
+	ex, err := NewExecutor(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ex.RunBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ex.FaultedCells()
+}
+
+// TestFaultsZeroRateBitIdentical pins the zero-rate-equivalence
+// invariant: a nil fault model, an all-zero model, and a zero-rate model
+// with remap enabled are bit-identical to each other across all three
+// execution modes and both spiking kernels. The masked-weights fault
+// construction guarantees this — an empty mask changes no weight and
+// draws nothing from any RNG stream.
+func TestFaultsZeroRateBitIdentical(t *testing.T) {
+	prog, inputs := faultTestProgram(t)
+	for mode, mkOpts := range pipelineModes() {
+		for _, path := range []xbar.Path{xbar.PathDense, xbar.PathSparse} {
+			base := mkOpts()
+			base.Spike = path
+			want, _ := runFaulted(t, prog, base, inputs)
+			for name, fm := range map[string]*device.FaultModel{
+				"zero-value": {},
+				"zero-rate":  {Rate: 0, Seed: 42, Remap: true},
+			} {
+				opts := mkOpts()
+				opts.Spike = path
+				opts.Faults = fm
+				got, cells := runFaulted(t, prog, opts, inputs)
+				if cells != 0 {
+					t.Fatalf("%s/%v/%s: %d faulted cells from an inactive model", mode, path, name, cells)
+				}
+				assertSameOutputs(t, mode+"/"+name, want, got)
+			}
+		}
+	}
+}
+
+// TestFaultsDeterministicSameSeed: the same fault model on two fresh
+// executors programs identical faulted hardware — identical outputs and
+// identical residual counts — in every mode and on both kernels.
+func TestFaultsDeterministicSameSeed(t *testing.T) {
+	prog, inputs := faultTestProgram(t)
+	fm := func() *device.FaultModel {
+		return &device.FaultModel{Rate: 0.03, Seed: 11, Drift: 0.05, ReadSigma: 1e-7, Remap: true}
+	}
+	for mode, mkOpts := range pipelineModes() {
+		for _, path := range []xbar.Path{xbar.PathDense, xbar.PathSparse} {
+			a := mkOpts()
+			a.Spike, a.Faults = path, fm()
+			b := mkOpts()
+			b.Spike, b.Faults = path, fm()
+			outA, cellsA := runFaulted(t, prog, a, inputs)
+			outB, cellsB := runFaulted(t, prog, b, inputs)
+			if cellsA != cellsB {
+				t.Fatalf("%s/%v: faulted cells %d vs %d from the same seed", mode, path, cellsA, cellsB)
+			}
+			assertSameOutputs(t, mode+"/same-seed", outA, outB)
+		}
+	}
+}
+
+// TestFaultsDenseVsPackedBitIdentical: with an active fault model — stuck
+// cells, drift and read variation together — the dense and bit-packed
+// kernels still agree bit for bit. Drift makes column sums non-integer,
+// so this exercises the packed kernel's non-exact-sums path under faults.
+func TestFaultsDenseVsPackedBitIdentical(t *testing.T) {
+	prog, inputs := faultTestProgram(t)
+	fm := &device.FaultModel{Rate: 0.05, Seed: 5, Drift: 0.08, ReadSigma: 2e-7, Remap: false}
+	for mode, mkOpts := range pipelineModes() {
+		dense := mkOpts()
+		dense.Spike, dense.Faults = xbar.PathDense, fm
+		sparse := mkOpts()
+		sparse.Spike, sparse.Faults = xbar.PathSparse, fm
+		outD, cellsD := runFaulted(t, prog, dense, inputs)
+		outS, cellsS := runFaulted(t, prog, sparse, inputs)
+		if cellsD == 0 {
+			t.Fatalf("%s: unremapped 5%% fault rate left no faulted cells", mode)
+		}
+		if cellsD != cellsS {
+			t.Fatalf("%s: dense sees %d faulted cells, packed %d", mode, cellsD, cellsS)
+		}
+		assertSameOutputs(t, mode+"/dense-vs-packed", outD, outS)
+	}
+}
+
+// TestFaultsPipelineMatchesExecutor: fault maps key on the global group
+// ID, not the owning chip or replica, so a faulted program pipelined
+// across 2 and 4 chips is bit-identical to the faulted single-chip
+// executor in every mode.
+func TestFaultsPipelineMatchesExecutor(t *testing.T) {
+	prog, inputs := faultTestProgram(t)
+	for mode, mkOpts := range pipelineModes() {
+		for name, fm := range map[string]*device.FaultModel{
+			"remap":   {Rate: 0.04, Seed: 23, Remap: true},
+			"noremap": {Rate: 0.04, Seed: 23, Drift: 0.03, Remap: false},
+		} {
+			mk := func() RunOptions {
+				o := mkOpts()
+				o.Faults = fm
+				return o
+			}
+			assertPipelineMatchesExecutor(t, "faults/"+mode+"/"+name, prog, mk, []int{2, 4}, inputs)
+		}
+	}
+}
+
+// TestFaultsPipelineFaultedCells: the pipelined executor reports the same
+// residual faulted-cell total as the single-chip executor — the chips
+// partition the same global fault population.
+func TestFaultsPipelineFaultedCells(t *testing.T) {
+	prog, _ := faultTestProgram(t)
+	fm := &device.FaultModel{Rate: 0.05, Seed: 9, Remap: false}
+	single, err := NewExecutor(prog, RunOptions{Mode: ModeReference, Faults: fm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.FaultedCells()
+	if want == 0 {
+		t.Fatal("unremapped 5% fault rate left no faulted cells")
+	}
+	for _, chips := range []int{2, 4} {
+		pe := pipelineAt(t, prog, chips, RunOptions{Mode: ModeReference, Faults: fm})
+		if got := pe.FaultedCells(); got != want {
+			t.Fatalf("%d-chip pipeline reports %d faulted cells, single-chip %d", chips, got, want)
+		}
+		if err := pe.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFaultsRemapReducesResidual: spare-row/column remapping steers
+// stuck cells away from live weights — the remapped residual must be
+// strictly below the unremapped one at a rate that faults this model,
+// and outputs must differ from the unremapped arm's only through those
+// residuals (sanity: high unremapped rates perturb outputs at all).
+func TestFaultsRemapReducesResidual(t *testing.T) {
+	prog, inputs := faultTestProgram(t)
+	base, _ := runFaulted(t, prog, RunOptions{Mode: ModeReference}, inputs)
+	_, without := runFaulted(t, prog, RunOptions{Mode: ModeReference, Faults: &device.FaultModel{Rate: 0.08, Seed: 3, Remap: false}}, inputs)
+	faulted, with := runFaulted(t, prog, RunOptions{Mode: ModeReference, Faults: &device.FaultModel{Rate: 0.08, Seed: 3, Remap: true}}, inputs)
+	if without == 0 {
+		t.Fatal("unremapped 8% fault rate left no faulted cells")
+	}
+	if with >= without {
+		t.Fatalf("remapping left %d faulted cells, no-remap arm has %d", with, without)
+	}
+	// The small test crossbars have generous spare capacity, so remap
+	// should fully clean this model; if it does, outputs match baseline.
+	if with == 0 {
+		assertSameOutputs(t, "remapped-clean", base, faulted)
+	}
+}

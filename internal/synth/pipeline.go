@@ -230,6 +230,10 @@ func NewPipelineExecutor(p *Program, plan *shard.Plan, opts RunOptions) (*Pipeli
 		}
 		c := cfg
 		c.Eta = grp.Eta
+		// Fault maps key on the global group ID, so a group lands on the
+		// same stuck cells regardless of which chip owns it — pipelined
+		// deployments see exactly the single-chip faults.
+		c.Faults = faultMaskFor(opts.Faults, p.Params, grp, st.GroupID)
 		u, err := xbar.Program(c, grp.Weights, opts.Rng)
 		if err != nil {
 			return nil, fmt.Errorf("synth: stage %d (%s): %w", si, grp.Name, err)
@@ -279,6 +283,19 @@ func (pe *PipelineExecutor) KernelStats() xbar.KernelStats {
 		}
 	}
 	return st
+}
+
+// FaultedCells sums the stuck logical cells pinned across every crossbar
+// on every chip — identical to the single-chip Executor's count, since
+// fault maps key on global group IDs.
+func (pe *PipelineExecutor) FaultedCells() int {
+	n := 0
+	for _, chip := range pe.chips {
+		for _, u := range chip.units { //fpsa:nondet summing int counters; order-free
+			n += u.FaultedCells()
+		}
+	}
+	return n
 }
 
 // Validate checks one input vector without executing anything.

@@ -10,7 +10,7 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysis.RunTest(t, "testdata/determinism", checks.Determinism,
-		"fpsa/internal/synth", "fpsa/internal/other")
+		"fpsa/internal/synth", "fpsa/internal/device", "fpsa/internal/other")
 }
 
 func TestCtxflow(t *testing.T) {

@@ -19,6 +19,7 @@ var deterministicPkgs = []string{
 	"fpsa/internal/synth",
 	"fpsa/internal/xbar",
 	"fpsa/internal/spike",
+	"fpsa/internal/device",
 }
 
 // globalRandFuncs are the package-level math/rand (and math/rand/v2)
@@ -43,7 +44,7 @@ var globalRandFuncs = map[string]bool{
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flags map iteration, global math/rand and time.Now inside the " +
-		"bit-exact packages (internal/{place,route,shard,mapper,synth,xbar,spike})",
+		"bit-exact packages (internal/{place,route,shard,mapper,synth,xbar,spike,device})",
 	Run: runDeterminism,
 }
 

@@ -1,0 +1,38 @@
+// Package device is golden input: the fault-model package joined the
+// bit-exact set in PR 9 — fault maps must derive only from seeds — so
+// the determinism guard applies here exactly as in the kernels.
+package device
+
+import (
+	"math/rand"
+	"time"
+)
+
+func layerSeeds(seeds map[string]int64) int64 {
+	var sum int64
+	for _, s := range seeds { // want `map iteration order is nondeterministic`
+		sum += s
+	}
+	return sum
+}
+
+func sortedSeeds(seeds map[string]int64) []string {
+	var names []string
+	//fpsa:nondet collects names into a set; sorted before use
+	for name := range seeds {
+		names = append(names, name)
+	}
+	return names
+}
+
+func drawFault() bool {
+	return rand.Float64() < 0.01 // want `global math/rand source`
+}
+
+func seededFault(rng *rand.Rand) bool {
+	return rng.Float64() < 0.01 // seeded streams are how fault maps draw
+}
+
+func timestampedMap() int64 {
+	return time.Now().UnixNano() // want `time.Now in a bit-exact package`
+}

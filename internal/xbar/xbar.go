@@ -99,6 +99,15 @@ type Config struct {
 	// means DefaultSparseThreshold. FPSA_SPIKE_PATH / FPSA_SPIKE_DENSITY
 	// in the environment override both fields (see ResolvePath).
 	SparseThreshold float64
+	// Faults, when non-nil and active, is the device fault state Program
+	// applies: stuck logical cells override the weight matrix before the
+	// polarity split (stuck-low reads 0, stuck-high +Rep.MaxWeight()), so
+	// the ideal weights and the programmed conductances both see the same
+	// faults — which is what keeps the reference, spiking and noisy modes,
+	// and the dense and bit-packed kernels, on identical faulted state.
+	// Drift and static read offsets then perturb the conductances alone.
+	// An inactive mask is bit-identical to no mask at all.
+	Faults *device.FaultMask
 }
 
 // Stepper is the common surface of the neuron models SimulateTrains can
@@ -130,6 +139,10 @@ type Crossbar struct {
 	threshold  float64
 	exactSums  bool  // conductance sums exact in any order (integer values)
 	activeCols []int // columns with any nonzero conductance; nil = all
+
+	// faulted is the number of stuck logical cells Program masked into
+	// this crossbar (after any remapping upstream).
+	faulted int
 
 	// Kernel-selection counters, atomic because serve.Engine reads them
 	// while executor goroutines run.
@@ -167,6 +180,15 @@ type Crossbar struct {
 // column-major (j, then i, positive before negative) order — the draw
 // order the historical PE model used, so seeded variation streams
 // reproduce bit for bit.
+//
+// With an active cfg.Faults mask, stuck cells override the logical
+// weight before the polarity split — so programming a faulted crossbar
+// is bit-identical to programming the manually masked weight matrix,
+// including the noisy draw stream (each cell draws exactly one variation
+// sample regardless of its weight value; fuzz-pinned by
+// FuzzProgramFaultedVsMasked). Drift then relaxes every conductance by
+// (1−Drift)× and ReadSigma adds a static per-cell offset drawn from the
+// mask's own read stream, never touching rng.
 func Program(cfg Config, weights [][]int, rng *rand.Rand) (*Crossbar, error) {
 	rows := len(weights)
 	if rows == 0 || len(weights[0]) == 0 {
@@ -200,11 +222,27 @@ func Program(cfg Config, weights [][]int, rng *rand.Rand) (*Crossbar, error) {
 		negG:   make([]float64, rows*cols),
 	}
 	c.path, c.threshold = ResolvePath(cfg.Path, cfg.SparseThreshold)
+	var mask *device.FaultMask
+	if cfg.Faults.Active() {
+		mask = cfg.Faults
+		if mask.Rows != rows || mask.Cols != cols {
+			return nil, fmt.Errorf("xbar: fault mask is %dx%d, weights are %dx%d", mask.Rows, mask.Cols, rows, cols)
+		}
+		c.faulted = mask.Faulted
+	}
 	for j := 0; j < cols; j++ {
 		for i := 0; i < rows; i++ {
 			w := weights[i][j]
 			if w > maxW || w < -maxW {
 				return nil, fmt.Errorf("xbar: weight %d at (%d,%d) exceeds |%d|", w, i, j, maxW)
+			}
+			if mask != nil {
+				switch mask.Stuck(i, j) {
+				case device.FaultStuckLow:
+					w = 0
+				case device.FaultStuckHigh:
+					w = maxW
+				}
 			}
 			pos, neg := 0, 0
 			if w >= 0 {
@@ -219,12 +257,42 @@ func Program(cfg Config, weights [][]int, rng *rand.Rand) (*Crossbar, error) {
 			c.negG[k] = device.ProgramWeight(cfg.Rep, cfg.Spec, neg, rng)
 		}
 	}
+	if mask != nil && (mask.Drift > 0 || mask.ReadSigma > 0) {
+		// Analog aging, applied to the programmed conductances only (the
+		// ideal posW/negW stay exact): multiplicative drift relaxation,
+		// then a static per-cell read offset from the mask's own seeded
+		// stream — row-major, positive before negative per cell — so the
+		// main programming-variation stream rng is never advanced.
+		scale := 1 - mask.Drift
+		var rrng *rand.Rand
+		if mask.ReadSigma > 0 {
+			rrng = rand.New(rand.NewSource(mask.ReadSeed))
+		}
+		perturb := func(g float64) float64 {
+			g *= scale
+			if rrng != nil {
+				g += rrng.NormFloat64() * mask.ReadSigma
+			}
+			if g < 0 {
+				g = 0
+			}
+			return g
+		}
+		for k := range c.posG {
+			c.posG[k] = perturb(c.posG[k])
+			c.negG[k] = perturb(c.negG[k])
+		}
+	}
 	c.classifyProgramming()
 	return c, nil
 }
 
 // Rows reports the programmed logical row count.
 func (c *Crossbar) Rows() int { return c.rows }
+
+// FaultedCells reports how many stuck logical cells the fault mask
+// pinned in this crossbar (0 without a mask).
+func (c *Crossbar) FaultedCells() int { return c.faulted }
 
 // Cols reports the programmed logical column count.
 func (c *Crossbar) Cols() int { return c.cols }

@@ -36,6 +36,19 @@ func TestCompileOptionValidation(t *testing.T) {
 		{"unknown layer dup", []Option{WithLayerDuplication(map[string]int{"no-such-layer": 2})}},
 		{"unknown layer tracks", []Option{WithLayerTracks(map[string]int{"no-such-layer": 2})}},
 		{"cut beyond chain", []Option{WithShardCuts(9999), WithChips(2)}},
+		{"negative fault rate", []Option{WithFaultModel(-0.1, 1)}},
+		{"fault rate above 1", []Option{WithFaultModel(1.5, 1)}},
+		{"NaN fault rate", []Option{WithFaultModel(math.NaN(), 1)}},
+		{"NaN drift", []Option{WithFaultMap(FaultMap{Rate: 0.01, Drift: math.NaN()})}},
+		{"drift of 1", []Option{WithFaultMap(FaultMap{Rate: 0.01, Drift: 1})}},
+		{"negative drift", []Option{WithFaultMap(FaultMap{Rate: 0.01, Drift: -0.2})}},
+		{"negative read sigma", []Option{WithFaultMap(FaultMap{ReadSigma: -1e-6})}},
+		{"NaN read sigma", []Option{WithFaultMap(FaultMap{ReadSigma: math.NaN()})}},
+		{"stuck-high fraction above 1", []Option{WithFaultMap(FaultMap{Rate: 0.01, StuckHighFrac: 2})}},
+		{"negative layer seed", []Option{WithFaultMap(FaultMap{Rate: 0.01, LayerSeeds: map[string]int64{"fc1": -5}})}},
+		{"unknown fault layer", []Option{WithFaultMap(FaultMap{Rate: 0.01, LayerSeeds: map[string]int64{"no-such-layer": 3}})}},
+		{"fault model and map together", []Option{WithFaultModel(0.01, 1), WithFaultMap(FaultMap{Rate: 0.01})}},
+		{"fault map and model together", []Option{WithFaultMap(FaultMap{Rate: 0.01}), WithFaultModel(0.01, 1)}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -44,8 +57,9 @@ func TestCompileOptionValidation(t *testing.T) {
 			}
 		})
 	}
-	// Zero stays "use the default" everywhere, as the option docs promise.
-	if _, err := Compile(context.Background(), m, WithDuplication(0), WithTracks(0), WithChips(0)); err != nil {
+	// Zero stays "use the default" everywhere, as the option docs promise
+	// — including a zero-rate fault model, which is ideal devices.
+	if _, err := Compile(context.Background(), m, WithDuplication(0), WithTracks(0), WithChips(0), WithFaultModel(0, 3)); err != nil {
 		t.Errorf("zero-valued knobs must compile with defaults, got %v", err)
 	}
 }
