@@ -32,6 +32,10 @@ type BenchReport struct {
 	// (deterministic — ModeReference over seeded fault draws — so drops
 	// are algorithm changes, not host noise).
 	Faults FaultBenchResult
+	// Fleet is the multi-model, multi-tenant serving run: mixed-tenant
+	// load-generator throughput, p50/p99/p999 tail latency, shed rate,
+	// and mid-run hot-swap durations.
+	Fleet FleetBenchResult
 }
 
 // JSON renders the report as indented JSON with a trailing newline.
@@ -69,6 +73,18 @@ func RunBenchReport(ctx context.Context, batch, samples int) (BenchReport, error
 		return rep, err
 	}
 	rep.Faults, err = FaultBench(ctx, FaultBenchOptions{})
+	if err != nil {
+		return rep, err
+	}
+	// Scale the fleet load to the sample budget: the full 200k-request
+	// artifact is for committed snapshots; CI's small -samples runs get a
+	// proportionally smaller (but still mixed-tenant, still swapping)
+	// load.
+	fleetOpts := FleetBenchOptions{Mode: ModeSpiking}
+	if samples > 0 {
+		fleetOpts.Requests = samples * 64
+	}
+	rep.Fleet, err = FleetBench(ctx, fleetOpts)
 	return rep, err
 }
 
@@ -155,6 +171,12 @@ func CompareBenchReports(baseline, cur BenchReport, tol float64) (regressions, w
 				}
 			}
 		}
+	}
+	if section("fleet", baseline.Fleet.Offered == 0, cur.Fleet.Offered == 0) {
+		// Fleet QPS is the one throughput family here; tail latencies and
+		// shed rate move with host load and request-count scaling, so they
+		// are informational.
+		check("fleet qps", baseline.Fleet.QPS, cur.Fleet.QPS, "req/s")
 	}
 	return regressions, warnings
 }

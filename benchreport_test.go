@@ -26,6 +26,7 @@ func compareFixture() BenchReport {
 			{Rate: 0.01, AccRemap: 0.95, AccNoRemap: 0.80},
 			{Rate: 0.05, AccRemap: 0.90, AccNoRemap: 0.60},
 		}},
+		Fleet: FleetBenchResult{Offered: 200000, Completed: 190000, Shed: 10000, QPS: 30000},
 	}
 }
 
@@ -59,15 +60,16 @@ func TestCompareBenchReportsFlagsRegressions(t *testing.T) {
 	cur.Sparsity.Rows[0].SparseSPS = 100    // d=0.05 row collapses
 	cur.Autotune.Rows[0].ImprovementPct = 2 // tuned gain collapses
 	cur.Faults.Rows[1].AccRemap = 0.5       // remap stops recovering accuracy
+	cur.Fleet.QPS = 100                     // fleet throughput collapses
 	regs, warns := CompareBenchReports(base, cur, 0.10)
 	if len(warns) != 0 {
 		t.Fatalf("complete baseline warned: %v", warns)
 	}
-	if len(regs) != 5 {
-		t.Fatalf("got %d regressions, want 5: %v", len(regs), regs)
+	if len(regs) != 6 {
+		t.Fatalf("got %d regressions, want 6: %v", len(regs), regs)
 	}
 	joined := strings.Join(regs, "\n")
-	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05", "autotune min-energy/480", "faults rate=0.05 remapped"} {
+	for _, want := range []string{"serving serial", "sharding 2-chip", "sparsity d=0.05", "autotune min-energy/480", "faults rate=0.05 remapped", "fleet qps"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("regressions missing %q:\n%s", want, joined)
 		}
@@ -128,5 +130,30 @@ func TestCompareBenchReportsFaultsSectionGrowth(t *testing.T) {
 	cur2.Faults.Rows[1].AccNoRemap = 0.1
 	if regs, warns := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 || len(warns) != 0 {
 		t.Fatalf("faults section over-gated: %v (warnings %v)", regs, warns)
+	}
+}
+
+// TestCompareBenchReportsFleetSectionGrowth pins the CI-gate scenario
+// for this schema addition: a BENCH_PR9-era baseline that predates the
+// fleet load test warns — never fails — against a fresh report carrying
+// one, and once both sides have the section only fleet QPS gates; shed
+// rate and tail latency are informational.
+func TestCompareBenchReportsFleetSectionGrowth(t *testing.T) {
+	base := compareFixture()
+	base.Fleet = FleetBenchResult{} // pre-fleet snapshot (e.g. BENCH_PR9)
+	cur := compareFixture()
+	cur.Fleet.QPS = 1 // would fail against a real baseline
+	regs, warns := CompareBenchReports(base, cur, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("pre-fleet baseline regressed: %v", regs)
+	}
+	if joined := strings.Join(warns, "\n"); !strings.Contains(joined, "baseline has no fleet section") {
+		t.Fatalf("missing fleet-section warning: %v", warns)
+	}
+	cur2 := compareFixture()
+	cur2.Fleet.ShedRate = 0.9 // shed rate shifts with load; never gates
+	cur2.Fleet.P999LatencyUS = 1e6
+	if regs, warns := CompareBenchReports(compareFixture(), cur2, 0.10); len(regs) != 0 || len(warns) != 0 {
+		t.Fatalf("fleet section over-gated: %v (warnings %v)", regs, warns)
 	}
 }

@@ -12,6 +12,7 @@
 //	fpsa-bench -exp sparsity           # dense vs bit-packed sparse kernel
 //	fpsa-bench -exp autotune           # per-layer autotuner vs uniform sweep
 //	fpsa-bench -exp faults             # stuck-cell fault injection, remap on/off
+//	fpsa-bench -exp fleet              # multi-model fleet load test with hot-swaps
 //	fpsa-bench -json -out BENCH.json   # machine-readable serving report
 //	fpsa-bench -baseline BENCH.json    # rerun and fail on regression
 //	fpsa-bench -list                   # show artifact IDs
@@ -33,7 +34,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	batch := flag.Int("batch", 0, "micro-batch size for the serving, sharding and sparsity experiments (0 = default 16)")
 	samples := flag.Int("samples", 0, "sample count for the -json / -baseline serving experiments (0 = default 512)")
-	jsonOut := flag.Bool("json", false, "emit the serving, sharding, sparsity, autotune and faults results as one JSON report (ignores -exp)")
+	jsonOut := flag.Bool("json", false, "emit the serving, sharding, sparsity, autotune, faults and fleet results as one JSON report (ignores -exp)")
 	baseline := flag.String("baseline", "", "rerun the JSON report and exit nonzero if serving throughput regressed against this BENCH_PR*.json snapshot")
 	regress := flag.Float64("regress", 0.10, "regression tolerance for -baseline (fraction below baseline that fails)")
 	out := flag.String("out", "", "write output to this file instead of stdout")
@@ -111,6 +112,12 @@ func runBaseline(ctx context.Context, path string, batch, samples int, tol float
 		base.Serving.SerialSPS, cur.Serving.SerialSPS,
 		base.Serving.BatchedSPS, cur.Serving.BatchedSPS,
 		base.Serving.EngineSPS, cur.Serving.EngineSPS)
+	if base.Fleet.Offered > 0 || cur.Fleet.Offered > 0 {
+		fmt.Fprintf(&b, "  fleet: %.1f/%.1f req/s  shed %.2f%%/%.2f%%  p999 %.4g/%.4g us (baseline/current)\n",
+			base.Fleet.QPS, cur.Fleet.QPS,
+			100*base.Fleet.ShedRate, 100*cur.Fleet.ShedRate,
+			base.Fleet.P999LatencyUS, cur.Fleet.P999LatencyUS)
+	}
 	for _, w := range warnings {
 		fmt.Fprintf(&b, "  WARNING: %s\n", w)
 	}

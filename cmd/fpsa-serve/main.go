@@ -6,6 +6,7 @@
 //
 //	fpsa-serve -addr :8080 -workers 4 -batch 8 -mode spiking
 //	fpsa-serve -chips 2                # sharded: pipelined across 2 chips
+//	fpsa-serve -fleet fleet.json       # multi-model, multi-tenant fleet
 //
 // Endpoints:
 //
@@ -13,6 +14,18 @@
 //	GET  /v1/model    deployed-model metadata
 //	GET  /v1/stats    engine serving statistics (JSON)
 //	POST /v1/classify {"features":[...]} or {"batch":[[...],...]}
+//
+// In fleet mode (-fleet) the server instead exposes:
+//
+//	GET  /healthz     liveness probe
+//	GET  /fleetz      fleet statistics: per-model QPS, queue depth,
+//	                  replica count, shed counts, swap history (JSON)
+//	POST /v1/classify {"model":"...","tenant":"...","features":[...]}
+//	POST /v1/swap     {"model":"...","seed":N} — retrain and hot-swap
+//	                  the model with zero downtime
+//
+// On SIGINT/SIGTERM the server stops admitting requests, drains
+// in-flight work within the -drain deadline, and exits 0.
 package main
 
 import (
@@ -43,7 +56,16 @@ func main() {
 	chips := flag.Int("chips", 1, "serve as a sharded deployment pipelined across this many chips (1 = single chip)")
 	spikePathName := flag.String("spikepath", "auto", "spiking kernel: auto, dense, or sparse (bit-identical; perf only)")
 	sparseThresh := flag.Float64("sparsethresh", 0, "auto-path spike-density cutoff in (0,1] for the sparse kernel (0 = built-in default)")
+	fleetCfg := flag.String("fleet", "", "serve a multi-model fleet from this JSON config file instead of a single engine")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline on SIGINT/SIGTERM")
 	flag.Parse()
+
+	if *fleetCfg != "" {
+		if err := runFleet(context.Background(), *addr, *fleetCfg, *drain); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	mode, err := parseMode(*modeName)
 	if err != nil {
@@ -153,7 +175,7 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("shutting down: %s", eng.Stats())
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)

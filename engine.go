@@ -231,8 +231,12 @@ type EngineStats struct {
 	// replica programs identical faults — and 0 without a fault model.
 	FaultedCells  int
 	ThroughputSPS float64
+	// P50LatencyUS, P99LatencyUS and P999LatencyUS are queue-to-completion
+	// latency percentiles over a sliding window of recent requests; the
+	// fleet layer reports the same three through the same implementation.
 	P50LatencyUS  float64
 	P99LatencyUS  float64
+	P999LatencyUS float64
 	QueueDepth    int
 	Workers       int
 	MaxBatch      int

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"fpsa/internal/fleet"
 	"fpsa/internal/serve"
 )
 
@@ -38,6 +39,17 @@ var (
 	// wraps the internal serving sentinel, so errors.Is matches it on
 	// every error the engine surfaces after shutdown.
 	ErrClosed = fmt.Errorf("fpsa: engine closed: %w", serve.ErrClosed)
+
+	// ErrOverloaded sheds a fleet request whose QoS class is over the
+	// model's class-weighted admission limit; back off and retry. It
+	// wraps the internal fleet sentinel, so errors.Is matches it on
+	// every overload shed the fleet surfaces.
+	ErrOverloaded = fmt.Errorf("fpsa: fleet overloaded: %w", fleet.ErrOverloaded)
+
+	// ErrTenantQuota sheds a fleet request whose tenant is at its
+	// in-flight quota (see WithTenant); the tenant must finish requests
+	// before submitting more.
+	ErrTenantQuota = fmt.Errorf("fpsa: tenant quota exceeded: %w", fleet.ErrTenantQuota)
 
 	// ErrInvalidArgument marks a request the API cannot interpret: an
 	// unknown exec mode, shard policy, weight representation, or

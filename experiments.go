@@ -13,14 +13,15 @@ import (
 // ExperimentIDs lists the reproducible paper artifacts plus the ablation
 // studies grounded in the paper's §7 discussion, the measured serving
 // artifacts ("serving", "sharding" and "sparsity", tunable via
-// fpsa-bench -batch), the compilation-autotuner sweep ("autotune"), and
-// the fault-injection reliability study ("faults").
+// fpsa-bench -batch), the compilation-autotuner sweep ("autotune"), the
+// fault-injection reliability study ("faults"), and the multi-model
+// fleet serving load test ("fleet").
 func ExperimentIDs() []string {
 	ids := []string{
 		"table1", "table2", "table3",
 		"figure2", "figure6", "figure7", "figure8", "figure9",
 		"ablation-transmission", "ablation-channels", "ablation-heteropes",
-		"serving", "sharding", "sparsity", "autotune", "faults",
+		"serving", "sharding", "sparsity", "autotune", "faults", "fleet",
 	}
 	sort.Strings(ids)
 	return ids
@@ -93,6 +94,8 @@ func RunExperiment(ctx context.Context, id string) (string, error) {
 		return RunAutotuneExperiment(ctx)
 	case "faults":
 		return RunFaultsExperiment(ctx)
+	case "fleet":
+		return RunFleetExperiment(ctx)
 	case "ablation-heteropes":
 		rows, err := experiments.AblationHeteroPEs(64)
 		if err != nil {

@@ -1,0 +1,538 @@
+package fpsa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fpsa/internal/fleet"
+	"fpsa/internal/serve"
+	"fpsa/internal/synth"
+)
+
+// QoSClass is a tenant's admission class in a Fleet. Higher classes may
+// occupy a larger share of a model's in-flight capacity before their
+// requests shed with ErrOverloaded: gold rides to the full limit, silver
+// to three quarters, batch to half. The zero value is QoSBatch, so an
+// unconfigured tenant gets the most conservative share.
+type QoSClass int
+
+// QoS classes, in ascending admission share.
+const (
+	QoSBatch QoSClass = iota
+	QoSSilver
+	QoSGold
+)
+
+// String names the class ("batch", "silver", "gold").
+func (c QoSClass) String() string { return fleet.Class(c).String() }
+
+// ParseQoSClass parses a class name as it appears in fleet config files:
+// "gold", "silver" or "batch" (empty means batch). Anything else is
+// ErrInvalidArgument.
+func ParseQoSClass(s string) (QoSClass, error) {
+	c, err := fleet.ParseClass(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %w", ErrInvalidArgument, err)
+	}
+	return QoSClass(c), nil
+}
+
+// fleetSettings is what the FleetOptions assemble.
+type fleetSettings struct {
+	opts  fleet.Options
+	cache *CompileCache
+}
+
+// FleetOption configures NewFleet. Options are applied in order; a nil
+// FleetOption is ignored.
+type FleetOption func(*fleetSettings)
+
+// WithFleetChips sets the fleet's simulated chip pool (default 64).
+// Replicas allocate from it: model registration, autoscaling and swaps
+// all stop at the pool boundary, and a swap transiently needs chips for
+// both the old and the new pool.
+func WithFleetChips(n int) FleetOption {
+	return func(s *fleetSettings) { s.opts.Chips = n }
+}
+
+// WithTenant registers one tenant's admission config: its QoS class and
+// an optional in-flight quota (0 = unlimited). Unknown tenants are
+// admitted at QoSBatch with no quota.
+func WithTenant(name string, class QoSClass, quota int) FleetOption {
+	return func(s *fleetSettings) {
+		if s.opts.Tenants == nil {
+			s.opts.Tenants = make(map[string]fleet.Tenant)
+		}
+		s.opts.Tenants[name] = fleet.Tenant{Class: fleet.Class(class), Quota: quota}
+	}
+}
+
+// WithFleetCache shares a compile-artifact cache with the fleet:
+// Fleet.CompileAndSwap compiles replacements through it, so a swap whose
+// structure matches a previous compile skips place & route entirely.
+// The default is a fresh private cache.
+func WithFleetCache(c *CompileCache) FleetOption {
+	return func(s *fleetSettings) { s.cache = c }
+}
+
+// WithScaleInterval sets the autoscaler tick (default 50ms).
+func WithScaleInterval(d time.Duration) FleetOption {
+	return func(s *fleetSettings) { s.opts.ScaleInterval = d }
+}
+
+// WithScalePolicy shapes the autoscaler: backlog is the per-replica
+// queue depth that counts as pressure (default 4), sustain how many
+// consecutive ticks of pressure add a replica (default 2), and idle how
+// many consecutive empty ticks drop one (default 40). Zero keeps a
+// field's default.
+func WithScalePolicy(backlog, sustain, idle int) FleetOption {
+	return func(s *fleetSettings) {
+		s.opts.ScaleUpBacklog = backlog
+		s.opts.ScaleUpTicks = sustain
+		s.opts.IdleTicks = idle
+	}
+}
+
+// fleetModelSettings is what the FleetModelOptions assemble.
+type fleetModelSettings struct {
+	replicas    int
+	minReplicas int
+	maxReplicas int
+	queueDepth  int
+	eng         engineSettings
+}
+
+// FleetModelOption configures Fleet.AddModel. Options are applied in
+// order; a nil FleetModelOption is ignored.
+type FleetModelOption func(*fleetModelSettings)
+
+// WithModelReplicas sets the model's initial replica pool size
+// (default 1).
+func WithModelReplicas(n int) FleetModelOption {
+	return func(s *fleetModelSettings) { s.replicas = n }
+}
+
+// WithModelReplicaRange bounds the autoscaler's pool moves (defaults:
+// min 1, max the larger of 4 and the initial size).
+func WithModelReplicaRange(min, max int) FleetModelOption {
+	return func(s *fleetModelSettings) { s.minReplicas, s.maxReplicas = min, max }
+}
+
+// WithModelQueueDepth sets the per-replica queue depth (default 64), on
+// both sides at once: each replica engine's request queue and the
+// admission ceiling (replicas × depth, scaled by the caller's QoS
+// share).
+func WithModelQueueDepth(n int) FleetModelOption {
+	return func(s *fleetModelSettings) { s.queueDepth = n }
+}
+
+// WithModelEngine shapes each replica's serving engine with the usual
+// engine options (WithMode, WithMaxBatch, WithFlushInterval,
+// WithSpikePath, …). A fleet replica is always a one-worker engine —
+// the pool, not the engine, is the parallelism — so WithWorkers is
+// overridden; use WithModelReplicas. Prefer WithModelQueueDepth over
+// WithQueueDepth here so admission stays in step with the queue.
+func WithModelEngine(opts ...EngineOption) FleetModelOption {
+	return func(s *fleetModelSettings) {
+		for _, o := range opts {
+			if o != nil {
+				o(&s.eng)
+			}
+		}
+	}
+}
+
+// fleetModel is the public layer's per-model record: everything needed
+// to mint replicas for a replacement deployment at Swap time.
+type fleetModel struct {
+	chipsPerReplica int
+	chipsOverride   bool // WithEngineChips pinned the count explicitly
+	cfg             EngineConfig
+}
+
+// Fleet serves many compiled Deployments onto a bounded pool of
+// simulated chips, concurrently and multi-tenant: per-model replica
+// pools with queue-driven autoscaling, class-weighted admission with
+// typed shed errors (ErrOverloaded, ErrTenantQuota), and zero-downtime
+// bitstream hot-swap (Swap, CompileAndSwap). Construct with NewFleet,
+// register models with AddModel, and Close when done. All methods are
+// safe for concurrent use.
+type Fleet struct {
+	fl    *fleet.Fleet
+	cache *CompileCache
+
+	mu     sync.Mutex
+	models map[string]*fleetModel
+}
+
+// NewFleet builds an empty fleet and starts its autoscaler.
+func NewFleet(opts ...FleetOption) (*Fleet, error) {
+	var set fleetSettings
+	for _, o := range opts {
+		if o != nil {
+			o(&set)
+		}
+	}
+	if set.opts.Chips < 0 {
+		return nil, fmt.Errorf("%w: WithFleetChips(%d): chip pool must be ≥ 0 (0 = default)", ErrInvalidArgument, set.opts.Chips)
+	}
+	for name, t := range set.opts.Tenants {
+		if t.Quota < 0 {
+			return nil, fmt.Errorf("%w: WithTenant(%q): quota %d must be ≥ 0 (0 = unlimited)", ErrInvalidArgument, name, t.Quota)
+		}
+		if t.Class < fleet.ClassBatch || t.Class > fleet.ClassGold {
+			return nil, fmt.Errorf("%w: WithTenant(%q): unknown QoS class %d", ErrInvalidArgument, name, t.Class)
+		}
+	}
+	if set.cache == nil {
+		set.cache = NewCompileCache(0)
+	}
+	return &Fleet{
+		fl:     fleet.New(set.opts),
+		cache:  set.cache,
+		models: make(map[string]*fleetModel),
+	}, nil
+}
+
+// Cache returns the fleet's compile-artifact cache (see WithFleetCache
+// and CompileAndSwap).
+func (f *Fleet) Cache() *CompileCache { return f.cache }
+
+// replicaSource lowers a deployment to the internal fleet's replica
+// source: a factory minting one-worker engines over the deployment's
+// memoized net, plus the input quantization window those engines expect.
+// Every replica of one version programs identical state (in
+// ModeSpikingNoisy each factory call re-derives the same variation
+// stream from the deployment seed), which is what makes fleet outputs
+// bit-identical to a fresh single-engine serve of the same deployment.
+func replicaSource(d *Deployment, cfg EngineConfig) (fleet.Source, error) {
+	sn, err := d.NewNet(nil)
+	if err != nil {
+		return fleet.Source{}, err
+	}
+	policy := d.cfg.ShardPolicy.servePolicy()
+	return fleet.Source{
+		Window: sn.Window(),
+		New: func() (fleet.Replica, error) {
+			e, err := newEngine(sn, cfg, policy)
+			if err != nil {
+				return nil, err
+			}
+			return e.eng, nil
+		},
+	}, nil
+}
+
+// realizeBitstream makes sure the deployment's verified configuration
+// exists before replicas spin up against it: place & route (through the
+// deployment's compile cache when it carries one — CompileAndSwap wires
+// the fleet's) and bitstream generation. A deployment that was already
+// placed serves its bitstream without re-running either phase.
+func realizeBitstream(ctx context.Context, d *Deployment) error {
+	if _, err := d.Bitstream(ctx); err == nil || !errors.Is(err, ErrNotPlaced) {
+		return err
+	}
+	if _, err := d.PlaceAndRoute(ctx); err != nil {
+		return err
+	}
+	_, err := d.Bitstream(ctx)
+	return err
+}
+
+// resolveReplicaConfig turns a model's engine template into the concrete
+// per-replica EngineConfig for deployment d, applying the same
+// chip-partition rules as Deployment.NewEngine.
+func resolveReplicaConfig(d *Deployment, set fleetModelSettings) (EngineConfig, error) {
+	cfg := set.eng.cfg
+	if set.eng.chipsSet {
+		if d.Chips() > 1 && cfg.Chips != d.Chips() {
+			return EngineConfig{}, fmt.Errorf("%w: deployment of %s compiled across %d chips but the fleet model requested %d; drop WithEngineChips to inherit the compiled partition",
+				ErrChipConflict, d.model.Name(), d.Chips(), cfg.Chips)
+		}
+	} else {
+		cfg.Chips = d.Chips()
+	}
+	// The pool, not the engine, is the parallelism.
+	cfg.Workers = 1
+	if set.queueDepth < 0 {
+		return EngineConfig{}, fmt.Errorf("%w: WithModelQueueDepth(%d): depth must be ≥ 0 (0 = default)", ErrInvalidArgument, set.queueDepth)
+	}
+	if set.queueDepth > 0 {
+		cfg.QueueDepth = set.queueDepth
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	return cfg, nil
+}
+
+// AddModel registers a compiled deployment under name and builds its
+// initial replica pool; requests route to it by name via Classify and
+// Outputs. The pool's chips are reserved from the fleet (each replica
+// occupies the deployment's compiled chip count), so registration fails
+// with ErrCapacity when the pool cannot fit.
+func (f *Fleet) AddModel(ctx context.Context, name string, d *Deployment, opts ...FleetModelOption) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d == nil {
+		return fmt.Errorf("%w: AddModel(%q): nil deployment", ErrInvalidArgument, name)
+	}
+	set := fleetModelSettings{eng: engineSettings{cfg: defaultEngineConfig()}}
+	for _, o := range opts {
+		if o != nil {
+			o(&set)
+		}
+	}
+	if set.replicas < 0 || set.minReplicas < 0 || set.maxReplicas < 0 {
+		return fmt.Errorf("%w: AddModel(%q): replica counts must be ≥ 0 (0 = default)", ErrInvalidArgument, name)
+	}
+	if set.maxReplicas > 0 && set.minReplicas > set.maxReplicas {
+		return fmt.Errorf("%w: AddModel(%q): WithModelReplicaRange(%d, %d): min exceeds max",
+			ErrInvalidArgument, name, set.minReplicas, set.maxReplicas)
+	}
+	cfg, err := resolveReplicaConfig(d, set)
+	if err != nil {
+		return err
+	}
+	if err := realizeBitstream(ctx, d); err != nil {
+		return err
+	}
+	src, err := replicaSource(d, cfg)
+	if err != nil {
+		return err
+	}
+	chipsPer := cfg.Chips
+	if chipsPer < 1 {
+		chipsPer = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.fl.AddModel(name, src, fleet.ModelConfig{
+		Replicas:        set.replicas,
+		MinReplicas:     set.minReplicas,
+		MaxReplicas:     set.maxReplicas,
+		ChipsPerReplica: chipsPer,
+		QueueDepth:      cfg.QueueDepth,
+	}); err != nil {
+		return wrapFleetErr(err)
+	}
+	f.models[name] = &fleetModel{chipsPerReplica: chipsPer, chipsOverride: set.eng.chipsSet, cfg: cfg}
+	return nil
+}
+
+// Classify serves one request: the named model classifies features
+// (values in [0, 1]) on behalf of tenant, returning the argmax class and
+// the id of the deployment version that served it. Admission may shed
+// with ErrOverloaded (class share exhausted) or ErrTenantQuota; both are
+// matched with errors.Is.
+func (f *Fleet) Classify(ctx context.Context, model, tenant string, features []float64) (class, version int, err error) {
+	out, version, err := f.Outputs(ctx, model, tenant, features)
+	if err != nil {
+		return 0, 0, err
+	}
+	return synth.Argmax(out), version, nil
+}
+
+// Outputs is Classify returning the raw output spike counts instead of
+// the argmax class.
+func (f *Fleet) Outputs(ctx context.Context, model, tenant string, features []float64) (out []int, version int, err error) {
+	res, err := f.fl.Infer(ctx, model, tenant, features)
+	if err != nil {
+		return nil, 0, wrapFleetErr(err)
+	}
+	return res.Output, res.Version, nil
+}
+
+// Swap hot-swaps the named model's bitstream to deployment d with zero
+// downtime: it builds a replacement replica pool against d (same pool
+// size, engine shape inherited from AddModel), atomically re-points the
+// route, waits for every request pinned to the old version and tears it
+// down. In-flight requests are never dropped or mixed across versions —
+// each completes on the version it pinned, stamped with that version's
+// id. The replacement must keep the model's chip footprint: a
+// deployment compiled across a different chip count is ErrChipConflict,
+// and a fleet without transient headroom for both pools is ErrCapacity.
+func (f *Fleet) Swap(ctx context.Context, model string, d *Deployment) (FleetSwapEvent, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d == nil {
+		return FleetSwapEvent{}, fmt.Errorf("%w: Swap(%q): nil deployment", ErrInvalidArgument, model)
+	}
+	f.mu.Lock()
+	fm, ok := f.models[model]
+	f.mu.Unlock()
+	if !ok {
+		return FleetSwapEvent{}, fmt.Errorf("%w: unknown fleet model %q", ErrInvalidArgument, model)
+	}
+	cfg := fm.cfg
+	if !fm.chipsOverride {
+		cfg.Chips = d.Chips()
+	}
+	chips := cfg.Chips
+	if chips < 1 {
+		chips = 1
+	}
+	if chips != fm.chipsPerReplica {
+		return FleetSwapEvent{}, fmt.Errorf("%w: model %q serves %d chip(s) per replica but the replacement deployment needs %d; recompile the replacement with the same chip partition",
+			ErrChipConflict, model, fm.chipsPerReplica, chips)
+	}
+	if err := realizeBitstream(ctx, d); err != nil {
+		return FleetSwapEvent{}, err
+	}
+	src, err := replicaSource(d, cfg)
+	if err != nil {
+		return FleetSwapEvent{}, err
+	}
+	ev, err := f.fl.Swap(ctx, model, src)
+	if err != nil {
+		return FleetSwapEvent{}, wrapFleetErr(err)
+	}
+	return publicSwapEvent(ev), nil
+}
+
+// CompileAndSwap compiles a replacement for the named model through the
+// fleet's compile cache — a structurally matching earlier compile skips
+// place & route — and hot-swaps it in (see Swap). It returns the
+// compiled deployment alongside the swap record.
+func (f *Fleet) CompileAndSwap(ctx context.Context, model string, m Model, opts ...Option) (*Deployment, FleetSwapEvent, error) {
+	d, err := Compile(ctx, m, append(append([]Option(nil), opts...), WithCache(f.cache))...)
+	if err != nil {
+		return nil, FleetSwapEvent{}, err
+	}
+	ev, err := f.Swap(ctx, model, d)
+	if err != nil {
+		return nil, FleetSwapEvent{}, err
+	}
+	return d, ev, nil
+}
+
+// Close retires every model, drains pinned requests and releases all
+// replicas. Idempotent; requests afterwards return ErrClosed.
+func (f *Fleet) Close() error { return wrapFleetErr(f.fl.Close()) }
+
+// FleetModelStats is one fleet model's serving snapshot, shaped for the
+// /fleetz endpoint.
+type FleetModelStats struct {
+	// Requests counts completed inferences (successes and errors, not
+	// sheds); Errors the subset that failed. ShedOverload and ShedQuota
+	// count sheds by cause.
+	Requests     uint64 `json:"requests"`
+	Errors       uint64 `json:"errors"`
+	ShedOverload uint64 `json:"shed_overload"`
+	ShedQuota    uint64 `json:"shed_quota"`
+	// Replicas is the current pool size; QueueDepth the summed depth of
+	// the replicas' request queues; InFlight the admitted-but-uncompleted
+	// count.
+	Replicas   int `json:"replicas"`
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+	// Version is the current bitstream generation (1 at registration,
+	// +1 per swap); Window its input quantization window.
+	Version int `json:"version"`
+	Window  int `json:"window"`
+	// ScaleUps and ScaleDowns count autoscaler pool moves.
+	ScaleUps   uint64 `json:"scale_ups"`
+	ScaleDowns uint64 `json:"scale_downs"`
+	// QPS is completed requests per second since registration; the
+	// latency percentiles are over a sliding window of recent requests
+	// (the same implementation behind EngineStats).
+	QPS           float64 `json:"qps"`
+	P50LatencyUS  float64 `json:"p50_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
+	P999LatencyUS float64 `json:"p999_latency_us"`
+}
+
+// FleetSwapEvent records one completed hot-swap.
+type FleetSwapEvent struct {
+	Model       string    `json:"model"`
+	FromVersion int       `json:"from_version"`
+	ToVersion   int       `json:"to_version"`
+	Replicas    int       `json:"replicas"`
+	At          time.Time `json:"at"`
+	DurationMS  float64   `json:"duration_ms"`
+}
+
+// FleetStats is a point-in-time snapshot of the whole fleet: the chip
+// pool, every model's counters, and the swap history. It is the payload
+// of fpsa-serve's /fleetz endpoint.
+type FleetStats struct {
+	Chips     int                        `json:"chips"`
+	ChipsUsed int                        `json:"chips_used"`
+	Models    map[string]FleetModelStats `json:"models"`
+	Swaps     []FleetSwapEvent           `json:"swaps"`
+}
+
+// Stats snapshots the fleet.
+func (f *Fleet) Stats() FleetStats {
+	s := f.fl.Stats()
+	out := FleetStats{
+		Chips:     s.Chips,
+		ChipsUsed: s.ChipsUsed,
+		Models:    make(map[string]FleetModelStats, len(s.Models)),
+		Swaps:     make([]FleetSwapEvent, 0, len(s.Swaps)),
+	}
+	for name, m := range s.Models {
+		out.Models[name] = FleetModelStats{
+			Requests:      m.Requests,
+			Errors:        m.Errors,
+			ShedOverload:  m.Overload,
+			ShedQuota:     m.Quota,
+			Replicas:      m.Replicas,
+			QueueDepth:    m.QueueDepth,
+			InFlight:      m.InFlight,
+			Version:       m.Version,
+			Window:        m.Window,
+			ScaleUps:      m.ScaleUps,
+			ScaleDowns:    m.ScaleDowns,
+			QPS:           m.QPS,
+			P50LatencyUS:  m.P50LatencyUS,
+			P99LatencyUS:  m.P99LatencyUS,
+			P999LatencyUS: m.P999LatencyUS,
+		}
+	}
+	for _, ev := range s.Swaps {
+		out.Swaps = append(out.Swaps, publicSwapEvent(ev))
+	}
+	return out
+}
+
+func publicSwapEvent(ev fleet.SwapEvent) FleetSwapEvent {
+	return FleetSwapEvent{
+		Model:       ev.Model,
+		FromVersion: ev.From,
+		ToVersion:   ev.To,
+		Replicas:    ev.Replicas,
+		At:          ev.At,
+		DurationMS:  float64(ev.Duration) / float64(time.Millisecond),
+	}
+}
+
+// wrapFleetErr lifts internal fleet sentinels into the package taxonomy:
+// overload and quota sheds surface as their public sentinels, a closed
+// fleet as ErrClosed, an unknown model as ErrInvalidArgument, and chip
+// exhaustion as ErrCapacity.
+func wrapFleetErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fleet.ErrOverloaded):
+		return ErrOverloaded
+	case errors.Is(err, fleet.ErrTenantQuota):
+		return ErrTenantQuota
+	case errors.Is(err, serve.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, fleet.ErrUnknownModel):
+		return fmt.Errorf("%w: %w", ErrInvalidArgument, err)
+	case errors.Is(err, fleet.ErrNoChips):
+		return fmt.Errorf("%w: %w", ErrCapacity, err)
+	}
+	return err
+}

@@ -1,0 +1,279 @@
+package fpsa
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpsa/internal/serve"
+)
+
+// FleetBenchOptions shapes the fleet serving experiment: a synthetic
+// load generator driving mixed-tenant traffic at several models served
+// by one Fleet, with mid-run bitstream hot-swaps.
+type FleetBenchOptions struct {
+	// Requests is the total offered request count across all loaders.
+	// 0 means 200000 — the default artifact drives hundreds of thousands
+	// of requests so the p999 tail is populated.
+	Requests int
+	// Loaders is the closed-loop load-generator goroutine count. 0 means
+	// 16.
+	Loaders int
+	// Models is how many distinct MLP deployments the fleet serves.
+	// 0 means 3.
+	Models int
+	// Replicas is each model's initial replica pool. 0 means 2.
+	Replicas int
+	// QueueDepth is the per-replica queue/admission depth. The default
+	// (0 means 4) is deliberately shallow so the closed-loop load
+	// exercises class-weighted shedding, not just the happy path.
+	QueueDepth int
+	// Swaps is how many mid-run hot-swaps the bench performs, spread
+	// evenly through the run (each recompiles a model through the
+	// fleet's compile cache and swaps it under load). 0 means 2.
+	Swaps int
+	// Mode selects the execution semantics (default ModeSpiking, the
+	// serving default).
+	Mode ExecMode
+	// Seed fixes the dataset/training seed. 0 means 7.
+	Seed int64
+}
+
+func (o FleetBenchOptions) withDefaults() FleetBenchOptions {
+	if o.Requests <= 0 {
+		o.Requests = 200000
+	}
+	if o.Loaders <= 0 {
+		o.Loaders = 16
+	}
+	if o.Models <= 0 {
+		o.Models = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4
+	}
+	if o.Swaps <= 0 {
+		o.Swaps = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// FleetBenchResult reports the measured fleet serving run. The
+// accounting identity Offered = Completed + Shed + Errors is the bench's
+// zero-loss check: Lost is the difference and must be 0 — a nonzero
+// value means the fleet dropped a request on the floor, which the
+// hot-swap property tests forbid.
+type FleetBenchResult struct {
+	Options FleetBenchOptions
+	// Offered counts requests the loaders submitted; Completed the ones
+	// that returned outputs; Shed the typed admission sheds
+	// (ErrOverloaded + ErrTenantQuota); Errors everything else (must be
+	// 0); Lost = Offered − Completed − Shed − Errors.
+	Offered   uint64
+	Completed uint64
+	Shed      uint64
+	Errors    uint64
+	Lost      uint64
+	// ShedRate is Shed / Offered.
+	ShedRate float64
+	// QPS is completed requests per second of wall clock, summed over
+	// every model.
+	QPS    float64
+	WallMS float64
+	// P50LatencyUS, P99LatencyUS and P999LatencyUS are client-side
+	// queue-to-completion percentiles over the run's sliding window —
+	// the same percentile implementation engine and fleet stats use.
+	P50LatencyUS  float64
+	P99LatencyUS  float64
+	P999LatencyUS float64
+	// Swaps records the mid-run hot-swaps (duration is the window where
+	// both replica pools were live).
+	Swaps []FleetSwapEvent
+	// Stats is the fleet's final snapshot (per-model QPS, replica
+	// counts, shed breakdown, scale moves).
+	Stats FleetStats
+}
+
+// String renders the result as a fpsa-bench artifact.
+func (r FleetBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet serving (%d models × %d replicas, %d loaders, mode %v, queue %d, %d requests)\n",
+		r.Options.Models, r.Options.Replicas, r.Options.Loaders, r.Options.Mode, r.Options.QueueDepth, r.Options.Requests)
+	fmt.Fprintf(&b, "  offered %d: completed %d, shed %d (%.2f%%), errors %d, lost %d\n",
+		r.Offered, r.Completed, r.Shed, 100*r.ShedRate, r.Errors, r.Lost)
+	fmt.Fprintf(&b, "  throughput %.1f req/s over %.0f ms\n", r.QPS, r.WallMS)
+	fmt.Fprintf(&b, "  latency p50 %.4g us / p99 %.4g us / p999 %.4g us\n",
+		r.P50LatencyUS, r.P99LatencyUS, r.P999LatencyUS)
+	for _, ev := range r.Swaps {
+		fmt.Fprintf(&b, "  swap %s v%d->v%d (%d replicas) in %.1f ms under load\n",
+			ev.Model, ev.FromVersion, ev.ToVersion, ev.Replicas, ev.DurationMS)
+	}
+	for name, m := range r.Stats.Models {
+		fmt.Fprintf(&b, "  model %s: v%d, %d replicas, %.1f qps, shed %d overload / %d quota, scale +%d/-%d\n",
+			name, m.Version, m.Replicas, m.QPS, m.ShedOverload, m.ShedQuota, m.ScaleUps, m.ScaleDowns)
+	}
+	return b.String()
+}
+
+// FleetBench trains and compiles Options.Models same-shape MLPs (through
+// one shared compile cache), serves them on one Fleet, and drives the
+// offered load from closed-loop mixed-tenant loaders — a gold
+// interactive tenant, a silver standard tenant and an unregistered batch
+// tenant in rotation — while hot-swapping models mid-run. It is the
+// measured counterpart of the fleet subsystem's story: reconfiguration
+// is fast enough to swap bitstreams under live traffic. ctx bounds the
+// compiles and the serving run.
+func FleetBench(ctx context.Context, opts FleetBenchOptions) (FleetBenchResult, error) {
+	opts = opts.withDefaults()
+	res := FleetBenchResult{Options: opts}
+	ds := SyntheticDataset(opts.Seed, 900, 16, 4, 0.08)
+	train, _ := ds.Split(2.0 / 3)
+
+	cache := NewCompileCache(0)
+	f, err := NewFleet(
+		WithFleetChips(4*opts.Models*opts.Replicas),
+		WithFleetCache(cache),
+		WithTenant("interactive", QoSGold, 0),
+		WithTenant("standard", QoSSilver, 0),
+	)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+
+	// One trained net per model slot; the hot-swap recompiles the same
+	// slot's structure with fresh weights, so place & route rides the
+	// shared cache.
+	nets := make([]*TrainedMLP, opts.Models)
+	names := make([]string, opts.Models)
+	for i := range nets {
+		net, err := TrainMLP(opts.Seed+int64(i), []int{16, 24, 4}, train, 30)
+		if err != nil {
+			return res, err
+		}
+		nets[i] = net
+		names[i] = fmt.Sprintf("mlp-%d", i)
+		d, err := Compile(ctx, net.Model(), WithWeightSource(net.WeightSource()), WithCache(cache))
+		if err != nil {
+			return res, err
+		}
+		if err := f.AddModel(ctx, names[i], d,
+			WithModelReplicas(opts.Replicas),
+			WithModelReplicaRange(1, 2*opts.Replicas),
+			WithModelQueueDepth(opts.QueueDepth),
+			WithModelEngine(WithMode(opts.Mode))); err != nil {
+			return res, err
+		}
+	}
+
+	tenants := []string{"interactive", "standard", "batch"}
+	var (
+		offered   atomic.Uint64
+		completed atomic.Uint64
+		shed      atomic.Uint64
+		errored   atomic.Uint64
+		lat       serve.LatencyRing
+		loadErr   atomic.Value
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	perLoader := opts.Requests / opts.Loaders
+	for l := 0; l < opts.Loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := 0; i < perLoader; i++ {
+				if ctx != nil && ctx.Err() != nil {
+					loadErr.CompareAndSwap(nil, ctx.Err())
+					return
+				}
+				n := l*perLoader + i
+				model := names[n%len(names)]
+				tenant := tenants[(n/len(names))%len(tenants)]
+				x := train.X[n%len(train.X)]
+				offered.Add(1)
+				t0 := time.Now()
+				_, _, err := f.Outputs(ctx, model, tenant, x)
+				switch {
+				case err == nil:
+					completed.Add(1)
+					lat.Record(time.Since(t0))
+				case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTenantQuota):
+					shed.Add(1)
+				default:
+					errored.Add(1)
+					loadErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(l)
+	}
+
+	// Hot-swaps, spread through the run: recompile one model slot's
+	// structure with freshly trained weights through the shared cache and
+	// swap it under the live load.
+	total := uint64(perLoader * opts.Loaders)
+	for s := 0; s < opts.Swaps; s++ {
+		target := total * uint64(s+1) / uint64(opts.Swaps+1)
+		for offered.Load() < target {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		slot := s % opts.Models
+		net, err := TrainMLP(opts.Seed+100+int64(s), []int{16, 24, 4}, train, 30)
+		if err != nil {
+			wg.Wait()
+			return res, err
+		}
+		_, ev, err := f.CompileAndSwap(ctx, names[slot], net.Model(), WithWeightSource(net.WeightSource()))
+		if err != nil {
+			wg.Wait()
+			return res, err
+		}
+		res.Swaps = append(res.Swaps, ev)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if e := loadErr.Load(); e != nil {
+		return res, e.(error)
+	}
+
+	res.Offered = offered.Load()
+	res.Completed = completed.Load()
+	res.Shed = shed.Load()
+	res.Errors = errored.Load()
+	res.Lost = res.Offered - res.Completed - res.Shed - res.Errors
+	if res.Offered > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Offered)
+	}
+	res.QPS = rate(int(res.Completed), wall)
+	res.WallMS = float64(wall) / float64(time.Millisecond)
+	res.P50LatencyUS, res.P99LatencyUS, res.P999LatencyUS = lat.Percentiles()
+	res.Stats = f.Stats()
+	if res.Lost != 0 {
+		return res, fmt.Errorf("%w: fleet bench lost %d of %d requests (completed %d, shed %d, errors %d)",
+			ErrInvalidArgument, res.Lost, res.Offered, res.Completed, res.Shed, res.Errors)
+	}
+	return res, nil
+}
+
+// RunFleetExperiment renders the fleet serving artifact. It backs
+// fpsa-bench's "fleet" experiment.
+func RunFleetExperiment(ctx context.Context) (string, error) {
+	r, err := FleetBench(ctx, FleetBenchOptions{Mode: ModeSpiking})
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}

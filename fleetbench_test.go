@@ -1,0 +1,48 @@
+package fpsa
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFleetBenchSmall runs the fleet load generator at a CI-sized scale
+// and pins its accounting identity: every offered request is completed,
+// shed with a typed error, or an error — never lost — and the artifact
+// reports the tail percentiles and any hot-swaps.
+func TestFleetBenchSmall(t *testing.T) {
+	r, err := FleetBench(context.Background(), FleetBenchOptions{
+		Requests: 3000,
+		Loaders:  6,
+		Swaps:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered == 0 || r.Completed == 0 {
+		t.Fatalf("no traffic served: %+v", r)
+	}
+	if r.Lost != 0 || r.Errors != 0 {
+		t.Fatalf("lost %d / errors %d requests of %d offered", r.Lost, r.Errors, r.Offered)
+	}
+	if r.Offered != r.Completed+r.Shed {
+		t.Fatalf("accounting identity broken: offered %d ≠ completed %d + shed %d",
+			r.Offered, r.Completed, r.Shed)
+	}
+	if len(r.Swaps) != 1 {
+		t.Fatalf("swaps recorded = %d, want 1", len(r.Swaps))
+	}
+	if r.QPS <= 0 || r.P50LatencyUS <= 0 || r.P999LatencyUS < r.P50LatencyUS {
+		t.Fatalf("latency/throughput stats implausible: qps %.1f p50 %g p999 %g",
+			r.QPS, r.P50LatencyUS, r.P999LatencyUS)
+	}
+	if got := len(r.Stats.Models); got != 3 {
+		t.Fatalf("fleet stats cover %d models, want 3", got)
+	}
+	text := r.String()
+	for _, want := range []string{"p50", "p99", "p999", "shed", "swap"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("artifact missing %q:\n%s", want, text)
+		}
+	}
+}

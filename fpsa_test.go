@@ -303,7 +303,7 @@ func TestRunExperimentDispatch(t *testing.T) {
 	if _, err := RunExperiment(context.Background(), "figure99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(ExperimentIDs()); got != 16 {
+	if got := len(ExperimentIDs()); got != 17 {
 		t.Errorf("ExperimentIDs = %d entries", got)
 	}
 	// The cheaper figure/ablation dispatch paths.

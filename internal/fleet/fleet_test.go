@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpsa/internal/serve"
+)
+
+// fakeReplica is a controllable Replica: outputs carry its source's
+// marker (so tests can attribute responses to versions), Infer can be
+// made to block on a gate, and QueueDepth can be faked to steer the
+// autoscaler.
+type fakeReplica struct {
+	marker int
+	gate   chan struct{} // when non-nil, Infer blocks until closed
+	start  chan struct{} // when non-nil, Infer signals entry (buffered)
+	depth  atomic.Int64  // fake queue depth
+	closed atomic.Bool
+	served atomic.Uint64
+}
+
+func (r *fakeReplica) Infer(ctx context.Context, input []int) ([]int, error) {
+	if r.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	if r.start != nil {
+		r.start <- struct{}{}
+	}
+	if r.gate != nil {
+		select {
+		case <-r.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if r.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	r.served.Add(1)
+	return []int{r.marker, len(input)}, nil
+}
+
+func (r *fakeReplica) QueueDepth() int { return int(r.depth.Load()) }
+
+func (r *fakeReplica) Close() error {
+	r.closed.Store(true)
+	return nil
+}
+
+// fakeSource mints fakeReplicas stamped with marker, recording them so
+// tests can reach in.
+type fakeSource struct {
+	marker int
+	window int
+	gate   chan struct{}
+	start  chan struct{}
+
+	mu   sync.Mutex
+	made []*fakeReplica
+	fail error
+}
+
+func (s *fakeSource) Source() Source {
+	return Source{
+		Window: s.window,
+		New: func() (Replica, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.fail != nil {
+				return nil, s.fail
+			}
+			r := &fakeReplica{marker: s.marker, gate: s.gate, start: s.start}
+			s.made = append(s.made, r)
+			return r, nil
+		},
+	}
+}
+
+func (s *fakeSource) replicas() []*fakeReplica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*fakeReplica(nil), s.made...)
+}
+
+// slowTestOptions disables the autoscaler for tests that drive admission
+// and swap directly (a long interval means it never ticks).
+func slowTestOptions() Options {
+	return Options{Chips: 16, ScaleInterval: time.Hour}
+}
+
+func TestInferRoutesAndStamps(t *testing.T) {
+	f := New(slowTestOptions())
+	defer f.Close()
+	src := &fakeSource{marker: 7, window: 16}
+	if err := f.AddModel("m", src.Source(), ModelConfig{Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Infer(context.Background(), "m", "anyone", []float64{0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("version = %d, want 1", res.Version)
+	}
+	if len(res.Output) != 2 || res.Output[0] != 7 || res.Output[1] != 2 {
+		t.Fatalf("output = %v, want [7 2]", res.Output)
+	}
+	st := f.Stats().Models["m"]
+	if st.Requests != 1 || st.Replicas != 2 || st.Version != 1 || st.Window != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUnknownModelAndEmptyRegistration(t *testing.T) {
+	f := New(slowTestOptions())
+	defer f.Close()
+	if _, err := f.Infer(context.Background(), "ghost", "t", []float64{1}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("err = %v, want ErrUnknownModel", err)
+	}
+	if err := f.AddModel("", (&fakeSource{window: 4}).Source(), ModelConfig{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := f.AddModel("m", Source{}, ModelConfig{}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	src := &fakeSource{window: 4}
+	if err := f.AddModel("m", src.Source(), ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddModel("m", src.Source(), ModelConfig{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestChipAccounting(t *testing.T) {
+	f := New(Options{Chips: 4, ScaleInterval: time.Hour})
+	defer f.Close()
+	src := &fakeSource{window: 4}
+	// 3 replicas × 1 chip.
+	if err := f.AddModel("a", src.Source(), ModelConfig{Replicas: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 more would exceed the 4-chip pool.
+	if err := f.AddModel("b", src.Source(), ModelConfig{Replicas: 2}); !errors.Is(err, ErrNoChips) {
+		t.Fatalf("err = %v, want ErrNoChips", err)
+	}
+	if total, used := f.Chips(); total != 4 || used != 3 {
+		t.Fatalf("chips = %d/%d, want 3/4", used, total)
+	}
+	// A swap needs headroom for both pools: 3 old + 3 new > 4.
+	if _, err := f.Swap(context.Background(), "a", src.Source()); !errors.Is(err, ErrNoChips) {
+		t.Fatalf("swap err = %v, want ErrNoChips", err)
+	}
+	// The failed swap must not leak chips.
+	if _, used := f.Chips(); used != 3 {
+		t.Fatalf("chips used after failed swap = %d, want 3", used)
+	}
+}
+
+// fillInflight starts n requests that are all inside replica Infer
+// (blocked on the source's gate) and returns their error channel.
+func fillInflight(t *testing.T, f *Fleet, model, tenant string, src *fakeSource, n int) chan error {
+	t.Helper()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, err := f.Infer(context.Background(), model, tenant, []float64{1})
+			errs <- err
+		}()
+		select {
+		case <-src.start:
+		case <-time.After(5 * time.Second):
+			t.Fatal("request never reached a replica")
+		}
+	}
+	return errs
+}
+
+func TestClassWeightedAdmission(t *testing.T) {
+	f := New(Options{
+		Chips:         16,
+		ScaleInterval: time.Hour,
+		Tenants: map[string]Tenant{
+			"gold": {Class: ClassGold},
+			// batch is the DefaultClass for unknown tenants
+		},
+	})
+	defer f.Close()
+	gate := make(chan struct{})
+	src := &fakeSource{window: 4, gate: gate, start: make(chan struct{}, 64)}
+	// 1 replica × QueueDepth 4: gold admits 4 in flight, batch admits 2.
+	if err := f.AddModel("m", src.Source(), ModelConfig{Replicas: 1, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := fillInflight(t, f, "m", "nobody", src, 2)
+	if _, err := f.Infer(context.Background(), "m", "nobody", []float64{1}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch over limit: err = %v, want ErrOverloaded", err)
+	}
+	// Gold still has headroom above batch's 50% share.
+	goldErrs := fillInflight(t, f, "m", "gold", src, 2)
+	if _, err := f.Infer(context.Background(), "m", "gold", []float64{1}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("gold over limit: err = %v, want ErrOverloaded", err)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("blocked batch request failed: %v", err)
+		}
+		if err := <-goldErrs; err != nil {
+			t.Fatalf("blocked gold request failed: %v", err)
+		}
+	}
+	st := f.Stats().Models["m"]
+	if st.Overload != 2 {
+		t.Fatalf("overload sheds = %d, want 2", st.Overload)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	f := New(Options{
+		Chips:         16,
+		ScaleInterval: time.Hour,
+		Tenants:       map[string]Tenant{"capped": {Class: ClassGold, Quota: 2}},
+	})
+	defer f.Close()
+	gate := make(chan struct{})
+	src := &fakeSource{window: 4, gate: gate, start: make(chan struct{}, 64)}
+	if err := f.AddModel("m", src.Source(), ModelConfig{Replicas: 1, QueueDepth: 64}); err != nil {
+		t.Fatal(err)
+	}
+	errs := fillInflight(t, f, "m", "capped", src, 2)
+	if _, err := f.Infer(context.Background(), "m", "capped", []float64{1}); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("err = %v, want ErrTenantQuota", err)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("blocked request failed: %v", err)
+		}
+	}
+	if st := f.Stats().Models["m"]; st.Quota != 1 {
+		t.Fatalf("quota sheds = %d, want 1", st.Quota)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	f := New(slowTestOptions())
+	gate := make(chan struct{})
+	src := &fakeSource{window: 4, gate: gate, start: make(chan struct{}, 64)}
+	if err := f.AddModel("m", src.Source(), ModelConfig{Replicas: 1, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	errs := fillInflight(t, f, "m", "t", src, 2)
+	closed := make(chan error, 1)
+	go func() { closed <- f.Close() }()
+	// Close must wait for the pinned requests, not strand them.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while requests were pinned")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("in-flight request dropped at close: %v", err)
+		}
+	}
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Infer(context.Background(), "m", "t", []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if !errors.Is(ErrClosed, serve.ErrClosed) {
+		t.Fatal("fleet.ErrClosed must wrap serve.ErrClosed")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	for _, r := range src.replicas() {
+		if !r.closed.Load() {
+			t.Fatal("replica left open after Close")
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{"gold": ClassGold, "silver": ClassSilver, "batch": ClassBatch, "": ClassBatch} {
+		got, err := ParseClass(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseClass("platinum"); err == nil {
+		t.Fatal("ParseClass accepted an unknown class")
+	}
+}

@@ -1,0 +1,192 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSwapZeroLoss is the hot-swap property test at the fleet layer:
+// under sustained concurrent load, a sequence of swaps loses no request
+// — every offered request either completes or sheds with a typed error
+// (here admission is sized so nothing sheds) — and every response's
+// output marker matches the version that stamped it, so no request ever
+// crosses version boundaries mid-flight.
+func TestSwapZeroLoss(t *testing.T) {
+	f := New(Options{Chips: 64, ScaleInterval: time.Hour})
+	defer f.Close()
+
+	// marker[v] is the output stamp of version v's replicas.
+	marker := func(v int) int { return 100 + v }
+	srcFor := func(v int) *fakeSource { return &fakeSource{marker: marker(v), window: 4} }
+	if err := f.AddModel("m", srcFor(1).Source(), ModelConfig{Replicas: 3, QueueDepth: 100000}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		loaders  = 8
+		perLoad  = 400
+		swaps    = 5
+		deadline = 30 * time.Second
+	)
+	var (
+		completed atomic.Uint64
+		mismatch  atomic.Uint64
+		failed    atomic.Uint64
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	var wg sync.WaitGroup
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perLoad; i++ {
+				res, err := f.Infer(ctx, "m", "t", []float64{0.5})
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+				if len(res.Output) == 0 || res.Output[0] != marker(res.Version) {
+					mismatch.Add(1)
+				}
+			}
+		}()
+	}
+	for v := 2; v <= swaps+1; v++ {
+		time.Sleep(2 * time.Millisecond)
+		ev, err := f.Swap(ctx, "m", srcFor(v).Source())
+		if err != nil {
+			t.Fatalf("swap to v%d: %v", v, err)
+		}
+		if ev.From != v-1 || ev.To != v || ev.Replicas != 3 {
+			t.Fatalf("swap event = %+v", ev)
+		}
+	}
+	wg.Wait()
+
+	if got := completed.Load(); got != loaders*perLoad {
+		t.Fatalf("completed %d of %d requests (%d failed) — swap lost requests",
+			got, loaders*perLoad, failed.Load())
+	}
+	if mismatch.Load() != 0 {
+		t.Fatalf("%d responses whose output marker disagreed with their version stamp", mismatch.Load())
+	}
+	st := f.Stats()
+	ms := st.Models["m"]
+	if ms.Requests != loaders*perLoad || ms.Errors != 0 || ms.Overload != 0 || ms.Quota != 0 {
+		t.Fatalf("model stats = %+v", ms)
+	}
+	if ms.Version != swaps+1 {
+		t.Fatalf("final version = %d, want %d", ms.Version, swaps+1)
+	}
+	if len(st.Swaps) != swaps {
+		t.Fatalf("swap history has %d events, want %d", len(st.Swaps), swaps)
+	}
+	// Chips must balance: the 3 swap-transient chips went back.
+	if _, used := f.Chips(); used != 3 {
+		t.Fatalf("chips used after swaps = %d, want 3", used)
+	}
+}
+
+// TestSwapDrainsOldVersion pins a request on the old version, swaps, and
+// checks the swap waits for the pinned request and the request still
+// completes on — and is stamped with — the version it pinned.
+func TestSwapDrainsOldVersion(t *testing.T) {
+	f := New(slowTestOptions())
+	defer f.Close()
+	gate := make(chan struct{})
+	old := &fakeSource{marker: 101, window: 4, gate: gate, start: make(chan struct{}, 1)}
+	if err := f.AddModel("m", old.Source(), ModelConfig{Replicas: 1, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	type out struct {
+		res Result
+		err error
+	}
+	pinned := make(chan out, 1)
+	go func() {
+		res, err := f.Infer(context.Background(), "m", "t", []float64{1})
+		pinned <- out{res, err}
+	}()
+	<-old.start // the request is inside the v1 replica
+
+	swapped := make(chan error, 1)
+	go func() {
+		_, err := f.Swap(context.Background(), "m", (&fakeSource{marker: 102, window: 4}).Source())
+		swapped <- err
+	}()
+	select {
+	case <-swapped:
+		t.Fatal("swap returned while a request was pinned to the old version")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-swapped; err != nil {
+		t.Fatal(err)
+	}
+	got := <-pinned
+	if got.err != nil {
+		t.Fatalf("pinned request dropped by swap: %v", got.err)
+	}
+	if got.res.Version != 1 || got.res.Output[0] != 101 {
+		t.Fatalf("pinned request got version %d output %v, want the v1 it pinned", got.res.Version, got.res.Output)
+	}
+	// And new traffic lands on v2.
+	res, err := f.Infer(context.Background(), "m", "t", []float64{1})
+	if err != nil || res.Version != 2 || res.Output[0] != 102 {
+		t.Fatalf("post-swap request = %+v, %v; want v2/102", res, err)
+	}
+	// The old replica was torn down after the drain.
+	if rs := old.replicas(); len(rs) != 1 || !rs[0].closed.Load() {
+		t.Fatal("old replica not closed after swap drain")
+	}
+}
+
+// TestSwapWindowFollowsVersion pins that the quantization window is read
+// from the pinned version, not from model-level state: after a swap to a
+// source with a different window, outputs reflect the new window.
+func TestSwapWindowFollowsVersion(t *testing.T) {
+	f := New(slowTestOptions())
+	defer f.Close()
+	if err := f.AddModel("m", (&fakeSource{marker: 1, window: 4}).Source(), ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// fakeReplica echoes len(input); QuantizeInput preserves feature count,
+	// so this is a proxy for "encoded with the pinned version's window".
+	res, err := f.Infer(context.Background(), "m", "t", []float64{0.1, 0.2, 0.3})
+	if err != nil || res.Output[1] != 3 {
+		t.Fatalf("pre-swap = %+v, %v", res, err)
+	}
+	if _, err := f.Swap(context.Background(), "m", (&fakeSource{marker: 2, window: 9}).Source()); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats().Models["m"]; st.Window != 9 {
+		t.Fatalf("post-swap window = %d, want 9", st.Window)
+	}
+}
+
+// TestSwapReplicaFactoryFailure pins that a failed replica build aborts
+// the swap, returns its chips, and leaves the old version serving.
+func TestSwapReplicaFactoryFailure(t *testing.T) {
+	f := New(slowTestOptions())
+	defer f.Close()
+	if err := f.AddModel("m", (&fakeSource{marker: 1, window: 4}).Source(), ModelConfig{Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+	bad := &fakeSource{marker: 2, window: 4}
+	bad.fail = context.DeadlineExceeded // any error will do
+	if _, err := f.Swap(context.Background(), "m", bad.Source()); err == nil {
+		t.Fatal("swap with failing factory succeeded")
+	}
+	if _, used := f.Chips(); used != 2 {
+		t.Fatalf("chips used after aborted swap = %d, want 2", used)
+	}
+	res, err := f.Infer(context.Background(), "m", "t", []float64{1})
+	if err != nil || res.Version != 1 {
+		t.Fatalf("old version not serving after aborted swap: %+v, %v", res, err)
+	}
+}

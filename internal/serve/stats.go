@@ -46,10 +46,13 @@ type Stats struct {
 	FaultedCells int
 	// ThroughputSPS is completed requests per second of engine uptime.
 	ThroughputSPS float64
-	// P50LatencyUS and P99LatencyUS are queue-to-completion latency
-	// percentiles over a sliding window of recent requests.
-	P50LatencyUS float64
-	P99LatencyUS float64
+	// P50LatencyUS, P99LatencyUS and P999LatencyUS are queue-to-completion
+	// latency percentiles over a sliding window of recent requests (see
+	// LatencyRing — the one percentile implementation the fleet layer
+	// shares).
+	P50LatencyUS  float64
+	P99LatencyUS  float64
+	P999LatencyUS float64
 	// QueueDepth, Workers, MaxBatch and Chips describe the engine's
 	// current shape. Chips is the realized pipeline depth of a sharded
 	// engine (1 when the model runs whole on per-worker executors).
@@ -62,10 +65,10 @@ type Stats struct {
 
 // String renders the snapshot.
 func (s Stats) String() string {
-	out := fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f, exec mean %.1f / max %d), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us, queue %d, %d workers",
+	out := fmt.Sprintf("served %d requests (%d errors, %d shed) in %d batches (mean %.1f, exec mean %.1f / max %d), throughput %.4g samples/s, latency p50 %.4g us / p99 %.4g us / p999 %.4g us, queue %d, %d workers",
 		s.Requests, s.Errors, s.Shed, s.Batches, s.MeanBatch,
 		s.MeanExecBatch, s.MaxExecBatch,
-		s.ThroughputSPS, s.P50LatencyUS, s.P99LatencyUS, s.QueueDepth, s.Workers)
+		s.ThroughputSPS, s.P50LatencyUS, s.P99LatencyUS, s.P999LatencyUS, s.QueueDepth, s.Workers)
 	if s.Chips > 1 {
 		out += fmt.Sprintf(", %d pipelined chips", s.Chips)
 	}
@@ -83,8 +86,62 @@ func (s Stats) String() string {
 // over.
 const latencyWindow = 4096
 
+// LatencyRing is the sliding-window latency recorder behind every
+// percentile the serving stack reports: the engine's Stats, the fleet's
+// per-model stats and the load-generator benches all record into one of
+// these and read percentiles back through Percentile, so "p999" means
+// the same computation everywhere. The zero value is ready to use; all
+// methods are safe for concurrent use.
+type LatencyRing struct {
+	mu   sync.Mutex
+	ring [latencyWindow]float64 // microseconds
+	n    uint64                 // total recorded; ring index is n % latencyWindow
+}
+
+// Record adds one request latency to the window.
+func (r *LatencyRing) Record(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	r.mu.Lock()
+	r.ring[r.n%latencyWindow] = us
+	r.n++
+	r.mu.Unlock()
+}
+
+// Count returns the total number of recorded latencies (not capped by
+// the window).
+func (r *LatencyRing) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Sorted returns the window's samples sorted ascending, ready for
+// Percentile. Empty when nothing has been recorded.
+func (r *LatencyRing) Sorted() []float64 {
+	r.mu.Lock()
+	n := r.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lat := append([]float64(nil), r.ring[:n]...)
+	r.mu.Unlock()
+	sort.Float64s(lat)
+	return lat
+}
+
+// Percentiles reads the three serving percentiles (p50/p99/p999) the
+// stats surfaces report, in microseconds. All zero when nothing has been
+// recorded.
+func (r *LatencyRing) Percentiles() (p50, p99, p999 float64) {
+	lat := r.Sorted()
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	return Percentile(lat, 0.50), Percentile(lat, 0.99), Percentile(lat, 0.999)
+}
+
 // tracker accumulates engine statistics. Counters are atomic; the latency
-// ring is mutex-guarded.
+// window is the shared LatencyRing.
 type tracker struct {
 	start       time.Time
 	done        atomic.Uint64
@@ -95,9 +152,7 @@ type tracker struct {
 	execItems   atomic.Uint64
 	execMax     atomic.Int64
 
-	mu   sync.Mutex
-	ring [latencyWindow]float64 // microseconds
-	n    uint64                 // total recorded; ring index is n % latencyWindow
+	lat LatencyRing
 }
 
 func (t *tracker) recordBatch() {
@@ -118,11 +173,7 @@ func (t *tracker) recordExecBatch(n int) {
 
 func (t *tracker) recordDone(d time.Duration) {
 	t.done.Add(1)
-	us := float64(d) / float64(time.Microsecond)
-	t.mu.Lock()
-	t.ring[t.n%latencyWindow] = us
-	t.n++
-	t.mu.Unlock()
+	t.lat.Record(d)
 }
 
 func (t *tracker) snapshot() Stats {
@@ -145,23 +196,15 @@ func (t *tracker) snapshot() Stats {
 	if uptime > 0 {
 		s.ThroughputSPS = float64(s.Requests) / uptime
 	}
-	t.mu.Lock()
-	n := t.n
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	lat := append([]float64(nil), t.ring[:n]...)
-	t.mu.Unlock()
-	if len(lat) > 0 {
-		sort.Float64s(lat)
-		s.P50LatencyUS = percentile(lat, 0.50)
-		s.P99LatencyUS = percentile(lat, 0.99)
-	}
+	s.P50LatencyUS, s.P99LatencyUS, s.P999LatencyUS = t.lat.Percentiles()
 	return s
 }
 
-// percentile reads the p-quantile from sorted (nearest-rank).
-func percentile(sorted []float64, p float64) float64 {
+// Percentile reads the p-quantile from an ascending-sorted sample
+// (nearest-rank). It is the one quantile implementation behind every
+// latency percentile the serving stack reports — engine stats, fleet
+// stats and the benches all call it, so their numbers are comparable.
+func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
